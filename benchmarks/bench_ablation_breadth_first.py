@@ -1,0 +1,28 @@
+"""Ablation benchmark: depth-first Geosphere vs K-best and FCSD.
+
+Paper shape (section 6.1): speculative K loses ML performance; matching
+ML needs K so large that the breadth-first cost dwarfs the depth-first
+decoder; the fixed-complexity decoder is only asymptotically ML.
+"""
+
+from repro.experiments import ablation_breadth_first
+
+
+def test_ablation_breadth_first(run_once, benchmark):
+    result = run_once(ablation_breadth_first.run, "quick")
+    print()
+    print(ablation_breadth_first.render(result))
+
+    geo_ver = result.error_rate("geosphere")
+    geo_ped = result.ped("geosphere")
+    benchmark.extra_info["geosphere_ver"] = round(geo_ver, 4)
+    benchmark.extra_info["geosphere_ped"] = round(geo_ped, 1)
+
+    # K=1 (hard decision feedback) loses badly in error rate.
+    assert result.error_rate("k-best (K=1)") > 1.5 * geo_ver
+    # The K that approaches ML performance costs far more than Geosphere.
+    assert result.error_rate("k-best (K=16)") <= 1.2 * geo_ver
+    assert result.ped("k-best (K=16)") > 5.0 * geo_ped
+    # FCSD: fixed cost, not ML.
+    assert result.error_rate("fcsd (p=1)") >= geo_ver
+    assert result.ped("fcsd (p=1)") > geo_ped

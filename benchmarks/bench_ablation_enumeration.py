@@ -1,0 +1,32 @@
+"""Ablation benchmark: enumeration micro-costs per node.
+
+Paper claims pinned here: producing the third-smallest child costs
+Geosphere 4 PED calculations vs Shabany's 5 (25% more) at interior
+points; ETH-SD pays sqrt(|O|) up front; the advantage is independent of
+constellation size.
+"""
+
+from repro.experiments import ablation_enumeration
+
+
+def test_ablation_enumeration(run_once, benchmark):
+    result = run_once(ablation_enumeration.run, "quick")
+    print()
+    print(ablation_enumeration.render(result))
+
+    for order in (16, 64, 256):
+        geo3 = result.third_child_cost("geosphere", order)
+        shabany3 = result.third_child_cost("shabany", order)
+        eth1 = result.mean_ped[("eth-sd", order, 1)]
+        # Geosphere strictly cheaper than Shabany for the third child
+        # (paper: 4 vs 5 at interior points; averages include edges).
+        assert geo3 < shabany3
+        # ETH-SD pays sqrt(|O|) before producing anything.
+        assert eth1 >= order ** 0.5
+        # Geosphere's first child costs a single calculation.
+        assert result.mean_ped[("geosphere", order, 1)] == 1.0
+
+    benchmark.extra_info["geo_third_child_16qam"] = round(
+        result.third_child_cost("geosphere", 16), 2)
+    benchmark.extra_info["shabany_third_child_16qam"] = round(
+        result.third_child_cost("shabany", 16), 2)

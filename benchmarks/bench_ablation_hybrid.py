@@ -1,0 +1,32 @@
+"""Ablation benchmark: condition-switching hybrid vs always-on Geosphere.
+
+Paper shape (sections 5.3/6.1): the hybrid matches Geosphere's throughput
+but cannot beat it, while Geosphere's own complexity already collapses on
+well-conditioned channels — the hybrid's whole reason to exist.
+"""
+
+from repro.experiments import ablation_hybrid
+
+
+def test_ablation_hybrid(run_once, benchmark):
+    result = run_once(ablation_hybrid.run, "quick")
+    print()
+    print(ablation_hybrid.render(result))
+
+    geo = result.throughput_mbps["geosphere"]
+    hybrid = result.throughput_mbps["hybrid"]
+    zf = result.throughput_mbps["zf"]
+    benchmark.extra_info["geo_ped_well"] = round(
+        result.geo_ped_well_conditioned, 2)
+    benchmark.extra_info["geo_ped_poor"] = round(
+        result.geo_ped_poorly_conditioned, 2)
+
+    # The hybrid tracks Geosphere but never exceeds it...
+    assert hybrid <= geo * 1.01
+    assert hybrid >= 0.9 * geo
+    # ...and both beat plain ZF on 4x4 office channels.
+    assert geo > zf
+    # Geosphere's complexity is adaptive: cheap where ZF would have been
+    # fine, spending effort only where it buys throughput.
+    assert (result.geo_ped_well_conditioned
+            < 0.6 * result.geo_ped_poorly_conditioned)

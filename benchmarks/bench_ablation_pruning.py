@@ -1,0 +1,31 @@
+"""Ablation benchmark: geometric pruning gains vs operating SNR.
+
+Paper shape (section 5.3 discussion): pruning contributes 13-27% at ~10%
+error-rate operating points and grows (toward 47% in the paper) at the 1%
+points, because at high SNR the bound often prunes the whole remaining
+tree "without any additional calculation".
+"""
+
+from repro.experiments import ablation_pruning
+
+
+def test_ablation_pruning(run_once, benchmark):
+    result = run_once(ablation_pruning.run, "quick")
+    print()
+    print(ablation_pruning.render(result))
+
+    for (case, order, target) in result.measurements:
+        # Pruning never adds work on identical workloads.
+        assert result.savings(case, order, target) >= 0.0
+
+    # Gains at the 1% operating point exceed the 10% point for every
+    # (case, order) pair.
+    for case in ((2, 4), (4, 4)):
+        for order in (64, 256):
+            high_snr = result.savings(case, order, 0.01)
+            low_snr = result.savings(case, order, 0.10)
+            assert high_snr >= low_snr - 0.03, (case, order)
+
+    headline = result.savings((2, 4), 256, 0.01)
+    benchmark.extra_info["savings_256qam_at_1pct"] = round(headline, 3)
+    assert headline >= 0.3  # paper: toward 47%

@@ -1,0 +1,25 @@
+"""Ablation benchmark: user selection vs random pairing.
+
+Paper shape (section 5.2 methodology): SNR-range user selection keeps the
+condition number small — a *challenging* case for Geosphere — so random
+pairing should widen Geosphere's advantage over zero-forcing.
+"""
+
+from repro.experiments import ablation_selection
+
+
+def test_ablation_selection(run_once, benchmark):
+    result = run_once(ablation_selection.run, "quick")
+    print()
+    print(ablation_selection.render(result))
+
+    selected_gain = result.gain("selected")
+    random_gain = result.gain("random")
+    benchmark.extra_info["selected_gain"] = round(selected_gain, 3)
+    benchmark.extra_info["random_gain"] = round(random_gain, 3)
+
+    # Geosphere wins in both regimes...
+    assert selected_gain >= 1.0
+    assert random_gain >= 1.0
+    # ...and random pairing widens the advantage (the paper's prediction).
+    assert random_gain >= selected_gain - 0.02

@@ -1,0 +1,26 @@
+"""Ablation benchmark: hard Geosphere vs the soft list-sphere receiver.
+
+Shape: soft decisions never deliver fewer frames on the same workload and
+win visibly around the hard receiver's cliff, at a bounded complexity
+premium (the list search keeps exploring after the first leaf).
+"""
+
+from repro.experiments import ablation_soft
+
+
+def test_ablation_soft(run_once, benchmark):
+    result = run_once(ablation_soft.run, "quick")
+    print()
+    print(ablation_soft.render(result))
+
+    snrs = sorted({key[0] for key in result.success})
+    for snr in snrs:
+        assert result.success[(snr, "soft")] >= result.success[(snr, "hard")]
+    gains = [result.gain(snr) for snr in snrs]
+    benchmark.extra_info["max_soft_gain"] = round(max(gains), 3)
+    # Somewhere around the cliff the soft receiver wins outright.
+    assert max(gains) > 0.05
+    # The complexity premium is real but bounded (list search, not brute
+    # force): within ~30x of the hard decoder's PED calculations.
+    for snr in snrs:
+        assert result.ped[(snr, "soft")] < 30 * result.ped[(snr, "hard")]

@@ -1,0 +1,50 @@
+"""Micro-benchmarks: wall-clock latency of one sphere decode.
+
+Complements the PED-calculation counters with actual Python runtime for a
+single maximum-likelihood detection, decoder by decoder.  Fixed channel
+and observation per case so the numbers are comparable across decoders
+and runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import awgn, noise_variance_for_snr, rayleigh_channel
+from repro.constellation import qam
+from repro.sphere import eth_sd_decoder, geosphere_decoder, geosphere_zigzag_only
+
+
+def _fixed_instance(order, num_tx, num_rx, snr_db, seed=42):
+    rng = np.random.default_rng(seed)
+    constellation = qam(order)
+    channel = rayleigh_channel(num_rx, num_tx, rng)
+    sent = rng.integers(0, order, size=num_tx)
+    noise_variance = noise_variance_for_snr(channel, snr_db)
+    y = channel @ constellation.points[sent] + awgn(num_rx, noise_variance, rng)
+    return channel, y
+
+
+CASES = [
+    ("16qam_4x4", 16, 4, 20.0),
+    ("64qam_4x4", 64, 4, 27.0),
+    ("256qam_4x4", 256, 4, 33.0),
+    ("256qam_2x4", 256, 2, 33.0),
+]
+
+FACTORIES = {
+    "geosphere": geosphere_decoder,
+    "zigzag-only": geosphere_zigzag_only,
+    "eth-sd": eth_sd_decoder,
+}
+
+
+@pytest.mark.parametrize("case_name,order,num_tx,snr_db", CASES)
+@pytest.mark.parametrize("decoder_kind", sorted(FACTORIES))
+def test_decode_latency(benchmark, case_name, order, num_tx, snr_db,
+                        decoder_kind):
+    channel, y = _fixed_instance(order, num_tx, 4, snr_db)
+    decoder = FACTORIES[decoder_kind](qam(order))
+    result = benchmark(decoder.decode, channel, y)
+    assert result.found
+    benchmark.extra_info["ped_calcs"] = result.counters.ped_calcs
+    benchmark.extra_info["visited_nodes"] = result.counters.visited_nodes

@@ -1,0 +1,25 @@
+"""Figure 9 benchmark: kappa^2 conditioning CDFs across the testbed.
+
+Paper shape: ~60% of 2x2 links above 10 dB; 4x4 nearly always above.
+"""
+
+from repro.experiments import fig09_conditioning
+
+
+def test_fig09_conditioning(run_once, benchmark):
+    result = run_once(fig09_conditioning.run, "quick")
+    print()
+    print(fig09_conditioning.render(result))
+
+    share_2x2 = result.fraction_above_10db((2, 2))
+    share_4x4 = result.fraction_above_10db((4, 4))
+    share_2x4 = result.fraction_above_10db((2, 4))
+    benchmark.extra_info["share_2x2_above_10db"] = round(share_2x2, 3)
+    benchmark.extra_info["share_4x4_above_10db"] = round(share_4x4, 3)
+
+    # Paper: 60% of 2x2 links experience kappa^2 > 10 dB.
+    assert 0.45 <= share_2x2 <= 0.75
+    # Paper: nearly all 4x4 links are poorly conditioned.
+    assert share_4x4 >= 0.85
+    # Fewer clients on the same array => better conditioning.
+    assert share_2x4 < share_4x4

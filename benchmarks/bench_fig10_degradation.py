@@ -1,0 +1,28 @@
+"""Figure 10 benchmark: worst-stream ZF SNR degradation CDFs.
+
+Paper shape: >5 dB degradation on ~30% of 2x2 and ~90% of 4x4 channels;
+the 2-clients-x-4-antennas case is mostly benign.
+"""
+
+from repro.experiments import fig10_degradation
+
+
+def test_fig10_degradation(run_once, benchmark):
+    result = run_once(fig10_degradation.run, "quick")
+    print()
+    print(fig10_degradation.render(result))
+
+    share_2x2 = result.fraction_above_5db((2, 2))
+    share_4x4 = result.fraction_above_5db((4, 4))
+    median_2x4 = result.median_db((2, 4))
+    benchmark.extra_info["share_2x2_above_5db"] = round(share_2x2, 3)
+    benchmark.extra_info["share_4x4_above_5db"] = round(share_4x4, 3)
+    benchmark.extra_info["median_2x4_db"] = round(median_2x4, 2)
+
+    # Paper: a significant fraction of 2x2 channels lose >5 dB...
+    assert 0.2 <= share_2x2 <= 0.7
+    # ...and 4x4 channels almost always do.
+    assert share_4x4 >= 0.85
+    # Two clients on four antennas: small degradation (paper: <3 dB for
+    # 90%; our tracer reaches a ~2 dB median — see DESIGN.md).
+    assert median_2x4 < 3.0

@@ -1,0 +1,35 @@
+"""Figure 11 benchmark: net uplink throughput, ZF vs Geosphere.
+
+Paper shape: Geosphere never loses; modest gains on the well-conditioned
+2x4/3x4 cases, large gains (up to 47% for 2x2, >2x for 4x4).
+"""
+
+import numpy as np
+
+from repro.experiments import fig11_throughput
+
+
+def test_fig11_throughput(run_once, benchmark):
+    result = run_once(fig11_throughput.run, "quick")
+    print()
+    print(fig11_throughput.render(result))
+
+    snrs = (15.0, 20.0, 25.0)
+    gains_4x4 = [result.gain((4, 4), snr) for snr in snrs]
+    gains_2x2 = [result.gain((2, 2), snr) for snr in snrs]
+    gains_2x4 = [result.gain((2, 4), snr) for snr in snrs]
+    benchmark.extra_info["max_gain_4x4"] = round(max(gains_4x4), 3)
+    benchmark.extra_info["max_gain_2x2"] = round(max(gains_2x2), 3)
+
+    # Geosphere (exact ML) never loses to ZF on the same workload.
+    for case in ((2, 2), (2, 4), (3, 4), (4, 4)):
+        for snr in snrs:
+            assert result.gain(case, snr) >= 0.99
+
+    # Large gains where conditioning is poor...
+    assert max(gains_4x4) >= 1.4
+    assert max(gains_2x2) >= 1.15
+    # ...and modest ones where it is not (2 clients x 4 antennas).
+    assert np.median(gains_2x4) <= 1.25
+    # 4x4 gains exceed 2x4 gains: the central conditioning story.
+    assert max(gains_4x4) > max(gains_2x4)

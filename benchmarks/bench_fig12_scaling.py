@@ -1,0 +1,26 @@
+"""Figure 12 benchmark: throughput vs concurrent clients (4-antenna AP).
+
+Paper shape: Geosphere's aggregate throughput scales with the number of
+clients; zero-forcing's flattens or collapses at four clients.
+"""
+
+from repro.experiments import fig12_scaling
+
+
+def test_fig12_scaling(run_once, benchmark):
+    result = run_once(fig12_scaling.run, "quick")
+    print()
+    print(fig12_scaling.render(result))
+
+    geo_scaling = result.scaling_ratio("geosphere")
+    zf_scaling = result.scaling_ratio("zf")
+    benchmark.extra_info["geosphere_scaling"] = round(geo_scaling, 3)
+    benchmark.extra_info["zf_scaling"] = round(zf_scaling, 3)
+
+    # Geosphere scales strictly better than ZF from 1 to 4 clients.
+    assert geo_scaling > zf_scaling
+    # And meaningfully: at least 2.2x aggregate throughput at 4 clients.
+    assert geo_scaling >= 2.2
+    # At four concurrent clients the ML detector wins outright.
+    assert (result.throughput_mbps[("geosphere", 4)]
+            > result.throughput_mbps[("zf", 4)])

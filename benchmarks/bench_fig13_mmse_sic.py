@@ -1,0 +1,31 @@
+"""Figure 13 benchmark: 10-antenna AP, ZF vs MMSE-SIC vs Geosphere.
+
+Paper shape: all methods similar for few clients; as the client count
+approaches the antenna count, ZF collapses, MMSE-SIC lands in between
+(error propagation), and Geosphere stays nearly linear (~2x ZF at 10x10).
+"""
+
+from repro.experiments import fig13_mmse_sic
+
+
+def test_fig13_mmse_sic(run_once, benchmark):
+    result = run_once(fig13_mmse_sic.run, "quick")
+    print()
+    print(fig13_mmse_sic.render(result))
+
+    geo_10 = result.throughput("geosphere", 10)
+    sic_10 = result.throughput("mmse-sic", 10)
+    zf_10 = result.throughput("zf", 10)
+    benchmark.extra_info["geo_over_zf_at_10"] = round(geo_10 / zf_10, 3)
+
+    # Similar performance far from the antenna limit.
+    for clients in (2, 4):
+        zf = result.throughput("zf", clients)
+        geo = result.throughput("geosphere", clients)
+        assert geo >= zf
+        assert geo <= 1.3 * max(zf, 1e-9)
+
+    # At 10 clients: Geosphere >> ZF (paper: ~2x), SIC in between.
+    assert geo_10 >= 1.4 * zf_10
+    assert sic_10 >= zf_10
+    assert geo_10 >= sic_10

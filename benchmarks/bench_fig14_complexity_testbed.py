@@ -1,0 +1,27 @@
+"""Figure 14 benchmark: PED calculations on testbed channels.
+
+Paper shape: Geosphere always needs fewer partial-distance calculations
+than ETH-SD, and the savings grow with SNR (denser constellations win the
+rate adaptation), reaching ~63% at 25 dB in the paper.
+"""
+
+from repro.experiments import fig14_complexity_testbed
+
+
+def test_fig14_complexity(run_once, benchmark):
+    result = run_once(fig14_complexity_testbed.run, "quick")
+    print()
+    print(fig14_complexity_testbed.render(result))
+
+    cases = ((2, 2), (2, 4), (3, 4), (4, 4))
+    snrs = (15.0, 20.0, 25.0)
+    for case in cases:
+        for snr in snrs:
+            assert result.savings(case, snr) > 0.0, (case, snr)
+
+    # Savings grow with SNR for the 2x2 case (the paper's example).
+    assert result.savings((2, 2), 25.0) > result.savings((2, 2), 15.0)
+    savings_25 = [result.savings(case, 25.0) for case in cases]
+    benchmark.extra_info["max_savings_25db"] = round(max(savings_25), 3)
+    # Paper: savings up to ~63% at 25 dB; require at least 50% somewhere.
+    assert max(savings_25) >= 0.5

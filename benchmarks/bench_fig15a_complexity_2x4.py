@@ -1,0 +1,46 @@
+"""Figure 15(a) benchmark: complexity, two clients x four AP antennas.
+
+Paper shape: ETH-SD's PED calculations grow with constellation size while
+Geosphere's stay nearly flat (81% cheaper at 256-QAM over Rayleigh);
+full Geosphere beats zigzag-only by ~27%; all decoders visit the same
+nodes.
+"""
+
+import pytest
+
+from repro.experiments import fig15_complexity_sim
+
+
+def test_fig15a_complexity_2x4(run_once, benchmark):
+    result = run_once(fig15_complexity_sim.run, "quick", 1515, ((2, 4),))
+    print()
+    print(fig15_complexity_sim.render(result))
+
+    case = (2, 4)
+    for source in ("rayleigh", "testbed"):
+        eth = [result.ped_calcs[(case, source, order, "eth-sd")]
+               for order in (16, 64, 256)]
+        geo = [result.ped_calcs[(case, source, order, "geosphere")]
+               for order in (16, 64, 256)]
+        # ETH-SD grows steeply with |O|; Geosphere stays nearly flat.
+        assert eth[2] > 2.5 * eth[0]
+        assert geo[2] < 2.0 * geo[0]
+
+    savings = result.savings_vs_eth(case, "rayleigh", 256)
+    pruning = result.pruning_gain(case, "rayleigh", 256)
+    benchmark.extra_info["savings_vs_eth_256qam"] = round(savings, 3)
+    benchmark.extra_info["pruning_gain_256qam"] = round(pruning, 3)
+
+    # Paper: 81% less complex than ETH-SD at 256-QAM (Rayleigh).
+    assert savings >= 0.7
+    # Paper: pruning contributes ~27% on top of the zigzag.
+    assert pruning >= 0.15
+
+    # All three decoders visit the same number of nodes.
+    for source in ("rayleigh", "testbed"):
+        for order in (16, 64, 256):
+            visited = [result.visited[(case, source, order, decoder)]
+                       for decoder in ("eth-sd", "geosphere-zigzag",
+                                       "geosphere")]
+            assert visited[0] == pytest.approx(visited[1])
+            assert visited[1] == pytest.approx(visited[2])

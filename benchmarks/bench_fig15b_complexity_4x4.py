@@ -1,0 +1,37 @@
+"""Figure 15(b) benchmark: complexity, four clients x four AP antennas.
+
+Paper shape: ETH-SD's complexity grows strongly with constellation size
+even under harsh 4x4 conditioning; Geosphere is up to 70% cheaper over
+Rayleigh; the zigzag is the main source of improvement for large
+constellations, with pruning contributing 13-17%.
+"""
+
+from repro.experiments import fig15_complexity_sim
+
+
+def test_fig15b_complexity_4x4(run_once, benchmark):
+    result = run_once(fig15_complexity_sim.run, "quick", 1515, ((4, 4),))
+    print()
+    print(fig15_complexity_sim.render(result))
+
+    case = (4, 4)
+    eth = {order: result.ped_calcs[(case, "rayleigh", order, "eth-sd")]
+           for order in (16, 64, 256)}
+    # ETH-SD grows with constellation size.
+    assert eth[256] > eth[64] > eth[16]
+
+    savings = result.savings_vs_eth(case, "rayleigh", 256)
+    pruning = result.pruning_gain(case, "rayleigh", 256)
+    zigzag_share = 1.0 - (result.ped_calcs[(case, "rayleigh", 256,
+                                            "geosphere-zigzag")]
+                          / eth[256])
+    benchmark.extra_info["savings_vs_eth_256qam"] = round(savings, 3)
+    benchmark.extra_info["pruning_gain_256qam"] = round(pruning, 3)
+
+    # Paper: up to 70% less complex than ETH-SD over Rayleigh.
+    assert savings >= 0.6
+    # The zigzag is the main source of improvement for large
+    # constellations (its share of the savings exceeds the pruning's).
+    assert zigzag_share > pruning
+    # Pruning still contributes (paper: 13-17%).
+    assert pruning >= 0.1

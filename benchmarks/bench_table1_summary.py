@@ -1,0 +1,30 @@
+"""Table 1 benchmark: the paper's three headline results, re-derived.
+
+Paper rows: (1) 2x2 channels poorly conditioned 60% of the time, 4x4
+almost always; (2) 2x throughput gains for 4x4 and 47% for 2x2;
+(3) nearly an order of magnitude less computation than ETH-SD.
+"""
+
+from repro.experiments import table1_summary
+
+
+def test_table1_summary(run_once, benchmark):
+    result = run_once(table1_summary.run, "quick")
+    print()
+    print(table1_summary.render(result))
+
+    benchmark.extra_info["share_2x2"] = round(
+        result.share_2x2_poorly_conditioned, 3)
+    benchmark.extra_info["gain_4x4"] = round(result.gain_4x4_max, 3)
+    benchmark.extra_info["complexity_reduction"] = round(
+        1 / max(1 - result.complexity_savings_256qam, 1e-3), 2)
+
+    # Row 1: channel characterization.
+    assert 0.45 <= result.share_2x2_poorly_conditioned <= 0.75
+    assert result.share_4x4_poorly_conditioned >= 0.85
+    # Row 2: throughput gains concentrated in the 4x4 case.
+    assert result.gain_4x4_max >= 1.4
+    assert result.gain_2x2_max >= 1.1
+    # Row 3: close to an order of magnitude less computation at 256-QAM.
+    reduction = 1 / max(1 - result.complexity_savings_256qam, 1e-3)
+    assert reduction >= 5.0

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the
+``quick`` scale, prints the same rows/series the paper reports, asserts
+the paper's qualitative shape (who wins, by roughly what factor), and
+stashes headline numbers in ``benchmark.extra_info`` so they land in the
+pytest-benchmark JSON.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Figure-level benchmarks execute exactly once (``pedantic`` with one
+round); the decode-latency micro-benchmarks use normal repeated timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark clock."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,50 @@
+"""Survey the office: where does zero-forcing leave throughput on the table?
+
+Walks the simulated floor plan the way the paper's measurement campaign
+walked its office (section 5.1): for every AP position and client pairing
+it measures the channel's condition number and the worst-stream SNR
+degradation a zero-forcing receiver would inflict, then prints the
+distribution — a miniature of the paper's Figs. 9 and 10, plus the
+capacity a maximum-likelihood receiver could actually reach.
+
+Run:  python examples/conditioning_survey.py
+"""
+
+import numpy as np
+
+from repro.channel import mimo_capacity_bits
+from repro.testbed import default_layout, generate_testbed_trace
+
+CONFIGS = ((2, 2), (2, 4), (4, 4))
+
+
+def main() -> None:
+    layout = default_layout()
+    print(f"floor plan: {layout.plan.width:.0f} m x {layout.plan.height:.0f} m, "
+          f"{len(layout.plan.walls)} walls")
+    print(f"nodes: {len(layout.ap_positions)} AP positions, "
+          f"{len(layout.client_positions)} client positions\n")
+
+    for num_clients, num_antennas in CONFIGS:
+        trace = generate_testbed_trace(num_clients, num_antennas,
+                                       num_links=12, seed=9)
+        k2 = trace.condition_numbers_sq_db()
+        lam = trace.worst_degradations_db()
+        capacities = [mimo_capacity_bits(matrix, snr_linear=100.0)
+                      for matrix in trace.iter_channels()]
+        print(f"{num_clients} clients x {num_antennas} AP antennas "
+              f"({trace.num_links} links x {trace.num_subcarriers} subcarriers):")
+        print(f"  kappa^2    : median {np.median(k2):5.1f} dB, "
+              f"{np.mean(k2 > 10) * 100:3.0f}% above 10 dB")
+        print(f"  ZF penalty : median {np.median(lam):5.1f} dB worst-stream "
+              f"SNR loss, {np.mean(lam > 5) * 100:3.0f}% above 5 dB")
+        print(f"  capacity   : median {np.median(capacities):5.1f} bits/s/Hz "
+              "at 20 dB\n")
+
+    print("reading: with 4 concurrent clients nearly every channel punishes")
+    print("zero-forcing — exactly the regime where the paper's sphere")
+    print("decoder turns capacity into throughput.")
+
+
+if __name__ == "__main__":
+    main()

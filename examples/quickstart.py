@@ -1,0 +1,58 @@
+"""Quickstart: decode one MIMO transmission with Geosphere.
+
+Builds a 4x4 MIMO, 256-QAM uplink — the configuration the paper makes
+practical for the first time — sends one symbol vector through a fading
+channel, and recovers it with the Geosphere sphere decoder.  Along the way
+it shows the two things the library is about:
+
+1. the decoder returns the exact maximum-likelihood solution, and
+2. the complexity counters reveal how cheaply it got there compared with
+   the ETH-SD baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.channel import awgn, noise_variance_for_snr, rayleigh_channel
+from repro.constellation import qam
+from repro.sphere import eth_sd_decoder, geosphere_decoder
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    constellation = qam(256)        # 256-QAM, 8 bits per symbol
+    num_clients, num_antennas = 4, 4
+
+    # --- transmit ------------------------------------------------------
+    bits = rng.integers(0, 2, num_clients * constellation.bits_per_symbol)
+    symbols = constellation.modulate(bits)
+    print(f"transmitting {bits.size} bits as {num_clients} x 256-QAM symbols")
+
+    # --- channel -------------------------------------------------------
+    channel = rayleigh_channel(num_antennas, num_clients, rng)
+    noise_variance = noise_variance_for_snr(channel, snr_db=33.0)
+    received = channel @ symbols + awgn(num_antennas, noise_variance, rng)
+
+    # --- detect --------------------------------------------------------
+    geosphere = geosphere_decoder(constellation)
+    result = geosphere.decode(channel, received)
+    recovered = constellation.indices_to_bits(result.symbol_indices)
+
+    print(f"recovered bits match: {bool((recovered == bits).all())}")
+    print(f"ML distance^2: {result.distance_sq:.4f}")
+
+    # --- complexity ----------------------------------------------------
+    eth = eth_sd_decoder(constellation).decode(channel, received)
+    assert (eth.symbol_indices == result.symbol_indices).all()
+    print("\ncomplexity for this decode (both return the same ML solution):")
+    print(f"  Geosphere: {result.counters.ped_calcs:4d} partial-distance "
+          f"calculations, {result.counters.visited_nodes} visited nodes")
+    print(f"  ETH-SD   : {eth.counters.ped_calcs:4d} partial-distance "
+          f"calculations, {eth.counters.visited_nodes} visited nodes")
+    saving = 1 - result.counters.ped_calcs / eth.counters.ped_calcs
+    print(f"  => Geosphere saves {saving:.0%} of the computation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Office uplink: many video-telephony clients share one four-antenna AP.
+
+The scenario from the paper's introduction: several users run symmetric
+video sessions, so the *uplink* must carry multiple spatial streams at
+once.  This example replays coded OFDM frames from four single-antenna
+clients over ray-traced office channels and compares what a zero-forcing
+AP delivers against a Geosphere AP — including the per-client view that
+motivates the whole system.
+
+Run:  python examples/uplink_office.py
+"""
+
+from repro.detect import SphereDetector, ZeroForcingDetector
+from repro.experiments.common import filter_trace_links
+from repro.phy import LinkSimulator, default_config, trace_source
+from repro.sphere import geosphere_decoder
+from repro.testbed import generate_testbed_trace
+
+SNR_DB = 20.0
+NUM_FRAMES = 6
+
+
+def main() -> None:
+    print("ray-tracing office channels (4 clients x 4 AP antennas)...")
+    trace = generate_testbed_trace(num_clients=4, num_ap_antennas=4,
+                                   num_links=12, seed=3)
+    trace = filter_trace_links(trace, max_median_lambda_db=20.0)
+    print(f"  {trace.num_links} usable links, "
+          f"{trace.num_subcarriers} OFDM subcarriers each")
+
+    config = default_config(order=16, payload_bits=400)
+    results = {}
+    for name, detector in [
+        ("zero-forcing", ZeroForcingDetector(config.constellation)),
+        ("geosphere", SphereDetector(geosphere_decoder(config.constellation))),
+    ]:
+        simulator = LinkSimulator(detector, config, SNR_DB)
+        stats = simulator.run(trace_source(trace, rng=1), NUM_FRAMES, rng=2)
+        results[name] = stats
+        per_client = stats.throughput_bps / 4 / 1e6
+        print(f"\n{name}:")
+        print(f"  frame error rate : {stats.frame_error_rate:.2f}")
+        print(f"  network throughput: {stats.throughput_bps / 1e6:.1f} Mbps")
+        print(f"  per-client        : {per_client:.1f} Mbps")
+        if stats.has_counters:
+            print(f"  decoder cost      : "
+                  f"{stats.avg_ped_calcs_per_detection:.1f} partial-distance "
+                  "calcs per subcarrier")
+
+    gain = (results["geosphere"].throughput_bps
+            / max(results["zero-forcing"].throughput_bps, 1e-9))
+    print(f"\nGeosphere / zero-forcing throughput: {gain:.2f}x")
+    print("(the paper reports ~2x for 4x4 office channels)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+The offline environments this repository targets may lack the ``wheel``
+package required for PEP 660 editable installs; ``setup.py develop`` (which
+``pip install -e .`` falls back to when no ``[build-system]`` table is
+present) works without it.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

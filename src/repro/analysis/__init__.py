@@ -1,0 +1,16 @@
+"""Analysis helpers: closed-form AWGN theory and Monte-Carlo sweeps."""
+
+from .sweeps import ErrorRatePoint, error_rate_sweep
+from .theory import (
+    q_function,
+    qam_bit_error_rate_awgn_approx,
+    qam_symbol_error_rate_awgn,
+)
+
+__all__ = [
+    "ErrorRatePoint",
+    "error_rate_sweep",
+    "q_function",
+    "qam_bit_error_rate_awgn_approx",
+    "qam_symbol_error_rate_awgn",
+]

@@ -1,0 +1,75 @@
+"""Error-rate sweeps: BER/SER vs SNR curves for any detector.
+
+The workhorse behind waterfall-curve examples and validation tests:
+Monte-Carlo symbol/bit error rates of a detector over a channel source,
+swept across SNR points with independent random streams per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.noise import awgn, noise_variance_for_snr
+from ..constellation.qam import QamConstellation
+from ..utils.rng import as_generator, spawn_generators
+from ..utils.validation import require
+
+__all__ = ["ErrorRatePoint", "error_rate_sweep"]
+
+
+@dataclass
+class ErrorRatePoint:
+    """Monte-Carlo error rates at one SNR."""
+
+    snr_db: float
+    symbol_error_rate: float
+    bit_error_rate: float
+    vector_error_rate: float
+    vectors: int
+
+
+def error_rate_sweep(detector, constellation: QamConstellation,
+                     channel_source, snrs_db, vectors_per_point: int = 400,
+                     rng=None) -> list[ErrorRatePoint]:
+    """Sweep ``detector`` across ``snrs_db``.
+
+    ``channel_source`` is a zero-argument callable returning an
+    ``(na, nc)`` matrix per transmission (constant channels via
+    ``repro.phy.fixed_source``, fading via ``rayleigh_source``...).
+    """
+    require(vectors_per_point >= 1, "need at least one vector per point")
+    snrs = list(snrs_db)
+    require(len(snrs) >= 1, "need at least one SNR point")
+    generator = as_generator(rng)
+    streams = spawn_generators(generator, len(snrs))
+    order = constellation.order
+    points = []
+    for snr_db, stream in zip(snrs, streams):
+        symbol_errors = bit_errors = vector_errors = 0
+        total_symbols = total_bits = 0
+        for _ in range(vectors_per_point):
+            channel = channel_source()
+            num_tx = channel.shape[1]
+            sent = stream.integers(0, order, size=num_tx)
+            noise_variance = noise_variance_for_snr(channel, snr_db)
+            received = (channel @ constellation.points[sent]
+                        + awgn(channel.shape[0], noise_variance, stream))
+            result = detector.detect(channel, received, noise_variance)
+            wrong = result.symbol_indices != sent
+            symbol_errors += int(wrong.sum())
+            vector_errors += int(wrong.any())
+            sent_bits = constellation.indices_to_bits(sent)
+            detected_bits = constellation.indices_to_bits(result.symbol_indices)
+            bit_errors += int((sent_bits != detected_bits).sum())
+            total_symbols += num_tx
+            total_bits += sent_bits.size
+        points.append(ErrorRatePoint(
+            snr_db=float(snr_db),
+            symbol_error_rate=symbol_errors / total_symbols,
+            bit_error_rate=bit_errors / total_bits,
+            vector_error_rate=vector_errors / vectors_per_point,
+            vectors=vectors_per_point,
+        ))
+    return points

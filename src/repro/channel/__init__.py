@@ -1,0 +1,57 @@
+"""Channel substrate: fading models, noise, conditioning metrics, traces."""
+
+from .correlated import correlated_rayleigh_channel, exponential_correlation
+from .geometric import GeometricChannelModel, Path, channel_from_paths, steering_vector
+from .metrics import (
+    condition_number,
+    condition_number_sq_db,
+    mimo_capacity_bits,
+    stream_snr_after_zf,
+    stream_snr_before_zf,
+    worst_stream_degradation_db,
+    zf_snr_degradation,
+)
+from .noise import (
+    average_stream_snr_db,
+    awgn,
+    db_to_linear,
+    linear_to_db,
+    noise_variance_for_snr,
+    stream_snrs,
+)
+from .rayleigh import RayleighChannelModel, rayleigh_channel, rayleigh_channels
+from .tapped_delay import (
+    exponential_power_delay_profile,
+    sample_taps,
+    tapped_delay_trace,
+)
+from .trace import ChannelTrace
+
+__all__ = [
+    "ChannelTrace",
+    "GeometricChannelModel",
+    "Path",
+    "RayleighChannelModel",
+    "average_stream_snr_db",
+    "awgn",
+    "channel_from_paths",
+    "condition_number",
+    "condition_number_sq_db",
+    "correlated_rayleigh_channel",
+    "db_to_linear",
+    "exponential_correlation",
+    "exponential_power_delay_profile",
+    "linear_to_db",
+    "mimo_capacity_bits",
+    "noise_variance_for_snr",
+    "rayleigh_channel",
+    "rayleigh_channels",
+    "sample_taps",
+    "steering_vector",
+    "tapped_delay_trace",
+    "stream_snr_after_zf",
+    "stream_snr_before_zf",
+    "stream_snrs",
+    "worst_stream_degradation_db",
+    "zf_snr_degradation",
+]

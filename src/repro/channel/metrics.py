@@ -1,0 +1,112 @@
+"""Channel-conditioning metrics (paper section 5.1).
+
+Two figures of merit drive the whole paper:
+
+* ``kappa^2(H)`` — the squared condition number in dB, "a good upper bound
+  on the actual noise amplification due to zero-forcing" (Fig. 9);
+* ``Lambda(H)`` — the worst per-stream SNR degradation a zero-forcing
+  receiver inflicts, ``max_k [H*H]_kk * [(H*H)^{-1}]_kk`` (Fig. 10).
+
+Both are per-subcarrier quantities; experiments aggregate them over links
+and subcarriers into CDFs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import as_complex_matrix, require
+from .noise import linear_to_db
+
+__all__ = [
+    "condition_number",
+    "condition_number_sq_db",
+    "zf_snr_degradation",
+    "worst_stream_degradation_db",
+    "stream_snr_before_zf",
+    "stream_snr_after_zf",
+    "mimo_capacity_bits",
+]
+
+
+def _gram(channel: np.ndarray) -> np.ndarray:
+    return channel.conj().T @ channel
+
+
+def condition_number(channel) -> float:
+    """Condition number ``kappa(H) = s_max / s_min`` (2-norm)."""
+    matrix = as_complex_matrix(channel, "channel")
+    singular_values = np.linalg.svd(matrix, compute_uv=False)
+    smallest = singular_values[-1]
+    if smallest <= 0.0:
+        return float("inf")
+    return float(singular_values[0] / smallest)
+
+
+def condition_number_sq_db(channel) -> float:
+    """``kappa^2`` in decibels — the x-axis of the paper's Fig. 9."""
+    kappa = condition_number(channel)
+    if not np.isfinite(kappa):
+        return float("inf")
+    return float(20.0 * np.log10(kappa))
+
+
+def zf_snr_degradation(channel) -> np.ndarray:
+    """Per-stream ZF SNR degradation ``lambda_k`` (linear, always >= 1).
+
+    ``lambda_k = [H*H]_kk * [(H*H)^{-1}]_kk`` is the ratio of stream ``k``'s
+    matched-filter SNR to its post-zero-forcing SNR.  Values near 1 mean
+    zero-forcing is nearly free; large values mean noise amplification.
+    """
+    matrix = as_complex_matrix(channel, "channel")
+    num_rx, num_tx = matrix.shape
+    require(num_rx >= num_tx,
+            f"zero-forcing needs num_rx >= num_tx, got {num_rx}x{num_tx}")
+    gram = _gram(matrix)
+    try:
+        gram_inv = np.linalg.inv(gram)
+    except np.linalg.LinAlgError:
+        return np.full(num_tx, np.inf)
+    lambdas = np.real(np.diag(gram)) * np.real(np.diag(gram_inv))
+    # Numerical floor: the Cauchy-Schwarz bound guarantees lambda_k >= 1.
+    return np.maximum(lambdas, 1.0)
+
+
+def worst_stream_degradation_db(channel) -> float:
+    """``Lambda`` in dB: the worst-stream ZF degradation (Fig. 10's x-axis)."""
+    lambdas = zf_snr_degradation(channel)
+    worst = float(np.max(lambdas))
+    if not np.isfinite(worst):
+        return float("inf")
+    return float(linear_to_db(worst))
+
+
+def stream_snr_before_zf(channel, noise_variance: float) -> np.ndarray:
+    """Matched-filter per-stream SNR ``[H*H]_kk / N0``."""
+    matrix = as_complex_matrix(channel, "channel")
+    require(noise_variance > 0.0, "noise variance must be positive")
+    return np.real(np.diag(_gram(matrix))) / noise_variance
+
+
+def stream_snr_after_zf(channel, noise_variance: float) -> np.ndarray:
+    """Post-zero-forcing per-stream SNR ``1 / ([(H*H)^{-1}]_kk N0)``."""
+    matrix = as_complex_matrix(channel, "channel")
+    require(noise_variance > 0.0, "noise variance must be positive")
+    gram_inv = np.linalg.inv(_gram(matrix))
+    return 1.0 / (np.real(np.diag(gram_inv)) * noise_variance)
+
+
+def mimo_capacity_bits(channel, snr_linear: float) -> float:
+    """Open-loop MIMO capacity ``log2 det(I + SNR/nc * H H*)`` in bits/s/Hz.
+
+    The quantity from the paper's introduction whose gap to realised
+    throughput Geosphere narrows.
+    """
+    matrix = as_complex_matrix(channel, "channel")
+    require(snr_linear > 0.0, "SNR must be positive")
+    num_rx, num_tx = matrix.shape
+    outer = matrix @ matrix.conj().T
+    argument = np.eye(num_rx) + (snr_linear / num_tx) * outer
+    sign, logdet = np.linalg.slogdet(argument)
+    require(sign.real > 0, "capacity determinant must be positive")
+    return float(logdet / np.log(2.0))

@@ -1,0 +1,119 @@
+"""Rate-1/2 convolutional coding (paper section 4).
+
+"All clients send data using 1/2-rate convolutional coding (similar to
+recent 802.11 standards)" — i.e. the industry-standard constraint-length-7
+code with generator polynomials (133, 171) in octal.  Encoding is plain
+binary convolution; decoding lives in :mod:`repro.coding.viterbi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.validation import as_bit_array, require
+
+__all__ = ["ConvolutionalCode", "WIFI_CODE"]
+
+
+def _taps(polynomial: int, constraint_length: int) -> np.ndarray:
+    """MSB-first tap array of a generator polynomial."""
+    bits = [(polynomial >> shift) & 1
+            for shift in range(constraint_length - 1, -1, -1)]
+    return np.asarray(bits, dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class ConvolutionalCode:
+    """A terminated feed-forward convolutional code.
+
+    Attributes
+    ----------
+    constraint_length:
+        Register length K; the trellis has ``2**(K-1)`` states.
+    polynomials:
+        One octal-style integer per output stream (rate ``1/len``).
+    """
+
+    constraint_length: int = 7
+    polynomials: tuple[int, ...] = (0o133, 0o171)
+    taps: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        require(self.constraint_length >= 2, "constraint length must be >= 2")
+        require(len(self.polynomials) >= 2, "need at least two generators")
+        for polynomial in self.polynomials:
+            require(0 < polynomial < (1 << self.constraint_length),
+                    f"polynomial {polynomial:o} does not fit constraint "
+                    f"length {self.constraint_length}")
+        taps = np.stack([_taps(p, self.constraint_length)
+                         for p in self.polynomials])
+        object.__setattr__(self, "taps", taps)
+        self.taps.setflags(write=False)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.polynomials)
+
+    @property
+    def num_states(self) -> int:
+        return 1 << (self.constraint_length - 1)
+
+    @property
+    def num_tail_bits(self) -> int:
+        """Zero bits appended to drive the encoder back to state 0."""
+        return self.constraint_length - 1
+
+    def coded_length(self, num_info_bits: int) -> int:
+        """Coded bits produced for ``num_info_bits`` including termination."""
+        return (num_info_bits + self.num_tail_bits) * self.num_outputs
+
+    def encode(self, bits) -> np.ndarray:
+        """Encode and terminate ``bits``; outputs are interleaved
+        ``g0[0], g1[0], g0[1], g1[1], ...`` as in 802.11."""
+        info = as_bit_array(bits)
+        padded = np.concatenate([info, np.zeros(self.num_tail_bits, dtype=np.uint8)])
+        streams = []
+        for row in self.taps:
+            # Binary convolution: each output bit XORs the register taps.
+            full = np.convolve(padded, row) % 2
+            streams.append(full[: padded.size])
+        coded = np.stack(streams, axis=1).reshape(-1)
+        return coded.astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Trellis tables used by the Viterbi decoder
+    # ------------------------------------------------------------------
+    def trellis_outputs(self) -> np.ndarray:
+        """Expected coded bits per (state, input) pair.
+
+        Returns an array of shape ``(num_states, 2, num_outputs)`` where
+        the state packs the previous ``K-1`` inputs, most recent in the
+        high bit.
+        """
+        states = np.arange(self.num_states)
+        outputs = np.empty((self.num_states, 2, self.num_outputs), dtype=np.uint8)
+        for input_bit in (0, 1):
+            register = (input_bit << (self.constraint_length - 1)) | states
+            for output_index, polynomial in enumerate(self.polynomials):
+                masked = register & polynomial
+                # Parity of the masked register = the coded bit.
+                parity = np.zeros_like(masked)
+                for shift in range(self.constraint_length):
+                    parity ^= (masked >> shift) & 1
+                outputs[:, input_bit, output_index] = parity
+        return outputs
+
+    def next_states(self) -> np.ndarray:
+        """``next_state[state, input]`` for the packed-state convention."""
+        states = np.arange(self.num_states)
+        table = np.empty((self.num_states, 2), dtype=np.int64)
+        for input_bit in (0, 1):
+            register = (input_bit << (self.constraint_length - 1)) | states
+            table[:, input_bit] = register >> 1
+        return table
+
+
+#: The 802.11 / LTE standard K=7 (133, 171) rate-1/2 code the paper uses.
+WIFI_CODE = ConvolutionalCode()

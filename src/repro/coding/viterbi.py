@@ -1,0 +1,108 @@
+"""Viterbi decoding (hard and soft decision), vectorised over states.
+
+The decoder works on *reliabilities*: one float per coded bit, positive
+when bit 0 is more likely.  Hard-decision decoding maps bit ``b`` to
+reliability ``1 - 2b`` (so the branch cost counts Hamming mismatches);
+soft decoding passes log-likelihood ratios straight through.  The
+transition cost of expecting coded bit ``c`` against reliability ``r`` is
+``max(0, r)`` when ``c = 1`` and ``max(0, -r)`` when ``c = 0`` — zero when
+the observation agrees, ``|r|`` when it does not.
+
+The trellis sweep is a Python loop over time steps with numpy inner
+operations over all ``2**(K-1)`` states, fast enough for frame-sized
+blocks while staying readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import as_bit_array, require
+from .convolutional import ConvolutionalCode
+
+__all__ = ["viterbi_decode", "viterbi_decode_soft"]
+
+
+def _traceback(backpointers: np.ndarray, final_state: int) -> np.ndarray:
+    num_steps, num_states = backpointers.shape
+    half = num_states // 2
+    decisions = np.empty(num_steps, dtype=np.uint8)
+    state = final_state
+    for step in range(num_steps - 1, -1, -1):
+        # The input bit that produced `state` is its high bit; the
+        # surviving predecessor was recorded during the forward sweep.
+        decisions[step] = state // half
+        state = (state % half) * 2 + backpointers[step, state]
+    return decisions
+
+
+def _decode_reliabilities(reliabilities: np.ndarray,
+                          code: ConvolutionalCode) -> np.ndarray:
+    outputs_per_step = code.num_outputs
+    require(reliabilities.ndim == 1, "reliabilities must be 1-D")
+    require(reliabilities.size % outputs_per_step == 0,
+            f"coded length {reliabilities.size} is not a multiple of "
+            f"{outputs_per_step}")
+    num_steps = reliabilities.size // outputs_per_step
+    require(num_steps > code.num_tail_bits,
+            "coded block too short to contain any information bits")
+
+    num_states = code.num_states
+    expected = code.trellis_outputs()           # (states, 2, outputs)
+    half = num_states // 2
+
+    # Predecessors of state t: states 2*(t % half) and 2*(t % half) + 1,
+    # reached with input bit t // half (the packed-register convention).
+    targets = np.arange(num_states)
+    pred0 = (targets % half) * 2
+    pred1 = pred0 + 1
+    input_bits = (targets // half).astype(np.int64)
+    # Pack the expected outputs of each transition into a pattern index so
+    # the per-step branch costs become a single gather.
+    weights = 1 << np.arange(outputs_per_step)
+    pattern_from0 = (expected[pred0, input_bits, :] * weights).sum(axis=1)
+    pattern_from1 = (expected[pred1, input_bits, :] * weights).sum(axis=1)
+
+    # cost(c, r) = max(0, r) if c == 1 else max(0, -r); precompute the cost
+    # of every output pattern at every step in one vectorised pass.
+    steps = reliabilities.reshape(num_steps, outputs_per_step)
+    num_patterns = 1 << outputs_per_step
+    pattern_bits = ((np.arange(num_patterns)[:, None] >> np.arange(outputs_per_step))
+                    & 1).astype(np.float64)
+    positive = np.maximum(steps, 0.0)
+    negative = np.maximum(-steps, 0.0)
+    pattern_costs = positive @ pattern_bits.T + negative @ (1.0 - pattern_bits).T
+
+    metrics = np.full(num_states, np.inf)
+    metrics[0] = 0.0                            # encoder starts in state 0
+    backpointers = np.empty((num_steps, num_states), dtype=np.uint8)
+
+    for step in range(num_steps):
+        costs = pattern_costs[step]
+        candidate0 = metrics[pred0] + costs[pattern_from0]
+        candidate1 = metrics[pred1] + costs[pattern_from1]
+        take1 = candidate1 < candidate0
+        metrics = np.where(take1, candidate1, candidate0)
+        backpointers[step] = take1
+
+    # Termination drives the encoder back to state 0.
+    decisions = _traceback(backpointers, final_state=0)
+    return decisions[: num_steps - code.num_tail_bits]
+
+
+def viterbi_decode(coded_bits, code: ConvolutionalCode) -> np.ndarray:
+    """Hard-decision maximum-likelihood sequence decoding.
+
+    ``coded_bits`` is the (possibly corrupted) interleaved coded stream
+    including termination; returns the information bits.
+    """
+    bits = as_bit_array(coded_bits, "coded bits")
+    reliabilities = 1.0 - 2.0 * bits.astype(np.float64)
+    return _decode_reliabilities(reliabilities, code)
+
+
+def viterbi_decode_soft(reliabilities, code: ConvolutionalCode) -> np.ndarray:
+    """Soft-decision decoding from per-bit reliabilities (positive => 0)."""
+    array = np.asarray(reliabilities, dtype=np.float64)
+    require(bool(np.isfinite(array).all()), "reliabilities must be finite")
+    return _decode_reliabilities(array, code)

@@ -1,0 +1,26 @@
+"""Constellation substrate: PAM axes, Gray labelling, square QAM, slicing."""
+
+from .gray import bits_to_int, gray_decode, gray_encode, int_to_bits
+from .pam import pam_levels, slice_to_index, zigzag_indices, zigzag_order
+from .qam import QAM4, QAM16, QAM64, QAM256, QamConstellation, qam
+from .slicer import nearest_point_distance, slice_symbols, symbol_error_mask
+
+__all__ = [
+    "QAM4",
+    "QAM16",
+    "QAM64",
+    "QAM256",
+    "QamConstellation",
+    "bits_to_int",
+    "gray_decode",
+    "gray_encode",
+    "int_to_bits",
+    "nearest_point_distance",
+    "pam_levels",
+    "qam",
+    "slice_symbols",
+    "slice_to_index",
+    "symbol_error_mask",
+    "zigzag_indices",
+    "zigzag_order",
+]

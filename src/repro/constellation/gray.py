@@ -1,0 +1,57 @@
+"""Binary-reflected Gray codes for PAM/QAM labelling.
+
+Square QAM constellations are labelled as the Cartesian product of two
+Gray-coded PAM axes so that nearest-neighbour symbol errors flip exactly
+one bit per axis (the labelling used by 802.11 and assumed throughout the
+Geosphere paper's coded experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gray_encode", "gray_decode", "gray_code_table", "int_to_bits", "bits_to_int"]
+
+
+def gray_encode(value):
+    """Map natural binary ``value`` to its Gray codeword (vectorised)."""
+    value = np.asarray(value)
+    return value ^ (value >> 1)
+
+
+def gray_decode(code):
+    """Invert :func:`gray_encode` (vectorised over integer arrays)."""
+    code = np.asarray(code).copy()
+    shift = 1
+    # Prefix-XOR: each iteration folds in bits `shift` positions higher.
+    while (code >> shift).any():
+        code ^= code >> shift
+        shift *= 2
+    # One final fold for scalar inputs where the loop may not have run.
+    code ^= code >> shift
+    return code
+
+
+def gray_code_table(num_bits: int) -> np.ndarray:
+    """Return the length-``2**num_bits`` table ``t[k] = gray_encode(k)``."""
+    if num_bits < 1:
+        raise ValueError(f"num_bits must be >= 1, got {num_bits}")
+    return gray_encode(np.arange(1 << num_bits))
+
+
+def int_to_bits(values, num_bits: int) -> np.ndarray:
+    """Unpack integers into MSB-first bit rows of width ``num_bits``.
+
+    Returns an array of shape ``values.shape + (num_bits,)`` and dtype uint8.
+    """
+    values = np.asarray(values)
+    shifts = np.arange(num_bits - 1, -1, -1)
+    return ((values[..., None] >> shifts) & 1).astype(np.uint8)
+
+
+def bits_to_int(bits) -> np.ndarray:
+    """Pack MSB-first bit rows (last axis) into integers."""
+    bits = np.asarray(bits)
+    num_bits = bits.shape[-1]
+    weights = 1 << np.arange(num_bits - 1, -1, -1)
+    return (bits.astype(np.int64) * weights).sum(axis=-1)

@@ -1,0 +1,44 @@
+"""Stream-level hard slicing helpers.
+
+Thin vectorised wrappers over :class:`~repro.constellation.qam.QamConstellation`
+used by the linear detectors (ZF / MMSE / MMSE-SIC), which make hard
+decisions on whole OFDM grids at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .qam import QamConstellation
+
+__all__ = ["slice_symbols", "symbol_error_mask", "nearest_point_distance"]
+
+
+def slice_symbols(values, constellation: QamConstellation) -> np.ndarray:
+    """Return the nearest constellation point for each complex value.
+
+    Shape-preserving: works on scalars, vectors or OFDM grids.
+    """
+    values = np.asarray(values, dtype=np.complex128)
+    indices = constellation.slice_indices(values.reshape(-1))
+    return constellation.points[indices].reshape(values.shape)
+
+
+def symbol_error_mask(detected, transmitted, constellation: QamConstellation) -> np.ndarray:
+    """Boolean mask of symbol decisions that differ from the transmitted ones.
+
+    Both inputs are complex symbol arrays; comparison happens in index
+    space so floating-point representation noise cannot create spurious
+    mismatches.
+    """
+    detected = np.asarray(detected, dtype=np.complex128)
+    transmitted = np.asarray(transmitted, dtype=np.complex128)
+    detected_idx = constellation.slice_indices(detected.reshape(-1))
+    transmitted_idx = constellation.slice_indices(transmitted.reshape(-1))
+    return (detected_idx != transmitted_idx).reshape(detected.shape)
+
+
+def nearest_point_distance(values, constellation: QamConstellation) -> np.ndarray:
+    """Euclidean distance from each value to its nearest constellation point."""
+    values = np.asarray(values, dtype=np.complex128)
+    return np.abs(values - slice_symbols(values, constellation))

@@ -1,0 +1,25 @@
+"""MIMO detectors: linear baselines, SIC, exhaustive ML, sphere adapter,
+hybrid switching and soft demapping."""
+
+from .base import DetectionResult, Detector
+from .hybrid import HybridDetector
+from .linear import MmseDetector, ZeroForcingDetector, mmse_equalize, zf_equalize
+from .llr import axis_bit_partitions, max_log_llrs
+from .ml import ExhaustiveMLDetector
+from .sic import MmseSicDetector
+from .sphere_adapter import SphereDetector
+
+__all__ = [
+    "DetectionResult",
+    "Detector",
+    "ExhaustiveMLDetector",
+    "HybridDetector",
+    "MmseDetector",
+    "MmseSicDetector",
+    "SphereDetector",
+    "ZeroForcingDetector",
+    "axis_bit_partitions",
+    "max_log_llrs",
+    "mmse_equalize",
+    "zf_equalize",
+]

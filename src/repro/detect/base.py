@@ -1,0 +1,53 @@
+"""Common detector interface.
+
+Every MIMO detector — linear, SIC or sphere — maps one received vector
+``y = Hx + w`` to hard symbol decisions through the same entry point, so
+link-level simulations (:mod:`repro.phy.link`) can swap detectors the way
+the paper's evaluation swaps zero-forcing for Geosphere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..sphere.counters import ComplexityCounters
+
+__all__ = ["DetectionResult", "Detector"]
+
+
+@dataclass
+class DetectionResult:
+    """Hard decisions for one channel use.
+
+    Attributes
+    ----------
+    symbols:
+        Detected complex constellation points, one per transmit stream.
+    symbol_indices:
+        Flattened constellation indices of those points.
+    counters:
+        Complexity tallies when the detector tracks them (sphere decoders),
+        else ``None``.
+    """
+
+    symbols: np.ndarray
+    symbol_indices: np.ndarray
+    counters: ComplexityCounters | None = None
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """Protocol implemented by all detectors in :mod:`repro.detect`."""
+
+    name: str
+
+    def detect(self, channel: np.ndarray, received: np.ndarray,
+               noise_variance: float) -> DetectionResult:
+        """Detect the transmitted symbol vector.
+
+        ``noise_variance`` is the total complex noise power per receive
+        antenna; detectors that do not need it (ZF, ML) ignore it.
+        """

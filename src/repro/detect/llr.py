@@ -1,0 +1,65 @@
+"""Max-log LLR soft demapping (infrastructure for the paper's future work).
+
+Section 7: "iterative soft receiver processing is required to reach MIMO
+capacity ... a promising next step is to extend our techniques to this
+setting."  This module provides the receiver side of that path: per-bit
+max-log log-likelihood ratios from soft symbol estimates, which feed the
+soft-decision Viterbi decoder.
+
+Sign convention matches :mod:`repro.coding.viterbi`: positive reliability
+means bit 0 is more likely.  Square-QAM Gray labelling makes the LLRs
+separable per I/Q axis, so the computation is two 1-D problems instead of
+one |O|-point search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constellation.gray import gray_encode, int_to_bits
+from ..constellation.qam import QamConstellation
+from ..utils.validation import require
+
+__all__ = ["max_log_llrs", "axis_bit_partitions"]
+
+
+def axis_bit_partitions(constellation: QamConstellation) -> np.ndarray:
+    """Per-axis bit values: ``bits[level_index, bit_position]``.
+
+    Both axes share the same Gray labelling, so one table serves I and Q.
+    """
+    side = constellation.side
+    codes = gray_encode(np.arange(side))
+    return int_to_bits(codes, constellation.bits_per_axis)
+
+
+def _axis_llrs(coordinates: np.ndarray, levels: np.ndarray,
+               bits: np.ndarray, noise_scale: float) -> np.ndarray:
+    """Max-log LLRs for one axis: shape ``(N, bits_per_axis)``."""
+    distances = (coordinates[:, None] - levels[None, :]) ** 2  # (N, side)
+    num_bits = bits.shape[1]
+    llrs = np.empty((coordinates.shape[0], num_bits))
+    for bit in range(num_bits):
+        zero_set = distances[:, bits[:, bit] == 0]
+        one_set = distances[:, bits[:, bit] == 1]
+        llrs[:, bit] = (one_set.min(axis=1) - zero_set.min(axis=1)) / noise_scale
+    return llrs
+
+
+def max_log_llrs(estimates, constellation: QamConstellation,
+                 noise_scale: float = 1.0) -> np.ndarray:
+    """Per-bit reliabilities for a stream of soft symbol estimates.
+
+    ``noise_scale`` is the effective post-equalisation noise variance
+    (uniform scaling only affects soft-Viterbi metrics by a constant, so
+    a per-stream average is sufficient).  Output is ordered like
+    :meth:`QamConstellation.indices_to_bits`: I-axis bits then Q-axis bits
+    per symbol, flattened.
+    """
+    values = np.asarray(estimates, dtype=np.complex128).reshape(-1)
+    require(values.size > 0, "need at least one estimate")
+    require(noise_scale > 0.0, "noise scale must be positive")
+    bits = axis_bit_partitions(constellation)
+    i_llrs = _axis_llrs(values.real, constellation.levels, bits, noise_scale)
+    q_llrs = _axis_llrs(values.imag, constellation.levels, bits, noise_scale)
+    return np.concatenate([i_llrs, q_llrs], axis=1).reshape(-1)

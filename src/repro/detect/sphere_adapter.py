@@ -1,0 +1,59 @@
+"""Adapter exposing sphere decoders through the Detector protocol.
+
+Keeps :mod:`repro.sphere` focused on the tree search while link-level code
+talks to every receiver through :class:`repro.detect.base.Detector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sphere.counters import ComplexityCounters
+from ..sphere.decoder import SphereDecoder
+from .base import DetectionResult
+
+__all__ = ["SphereDetector"]
+
+
+class SphereDetector:
+    """Maximum-likelihood detector backed by a :class:`SphereDecoder`."""
+
+    def __init__(self, decoder: SphereDecoder, name: str | None = None) -> None:
+        self.decoder = decoder
+        self.constellation = decoder.constellation
+        if name is None:
+            pruning = "+prune" if decoder.geometric_pruning else ""
+            name = f"sphere[{decoder.enumerator}{pruning}]"
+        self.name = name
+        #: Counters accumulated by the most recent :meth:`detect_block`.
+        self.last_block_counters = ComplexityCounters()
+        self.last_block_detections = 0
+
+    def detect(self, channel, received, noise_variance: float = 0.0) -> DetectionResult:
+        result = self.decoder.decode(channel, received)
+        return DetectionResult(symbols=result.symbols,
+                               symbol_indices=result.symbol_indices,
+                               counters=result.counters)
+
+    def detect_block(self, channel, received_block,
+                     noise_variance: float = 0.0) -> np.ndarray:
+        """Detect many vectors over one channel; returns ``(T, nc)`` indices.
+
+        The QR factorisation is shared across the block — exactly how the
+        per-frame OFDM receiver amortises preprocessing — and the per-vector
+        complexity counters accumulate into :attr:`last_block_counters`.
+        """
+        from ..sphere.qr import triangularize
+
+        block = np.asarray(received_block, dtype=np.complex128)
+        q, r = triangularize(channel)
+        q_hermitian = q.conj().T
+        totals = ComplexityCounters()
+        indices = np.empty((block.shape[0], channel.shape[1]), dtype=np.int64)
+        for t in range(block.shape[0]):
+            result = self.decoder.decode_triangular(r, q_hermitian @ block[t])
+            indices[t] = result.symbol_indices
+            totals.merge(result.counters)
+        self.last_block_counters = totals
+        self.last_block_detections = block.shape[0]
+        return indices

@@ -1,0 +1,41 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each ``figNN_*`` module exposes ``run(scale) -> Result`` and
+``render(result) -> str``; the CLI lives in
+:mod:`repro.experiments.runner` (``geosphere-experiments`` after
+installation).
+"""
+
+from . import (
+    ablation_breadth_first,
+    ablation_enumeration,
+    ablation_hybrid,
+    ablation_pruning,
+    ablation_selection,
+    ablation_soft,
+    fig09_conditioning,
+    fig10_degradation,
+    fig11_throughput,
+    fig12_scaling,
+    fig13_mmse_sic,
+    fig14_complexity_testbed,
+    fig15_complexity_sim,
+    table1_summary,
+)
+
+__all__ = [
+    "ablation_breadth_first",
+    "ablation_enumeration",
+    "ablation_hybrid",
+    "ablation_pruning",
+    "ablation_selection",
+    "ablation_soft",
+    "fig09_conditioning",
+    "fig10_degradation",
+    "fig11_throughput",
+    "fig12_scaling",
+    "fig13_mmse_sic",
+    "fig14_complexity_testbed",
+    "fig15_complexity_sim",
+    "table1_summary",
+]

@@ -1,0 +1,97 @@
+"""Ablation: geometric pruning gains vs operating SNR (section 5.3).
+
+"In general, the effect of geometrical pruning becomes more apparent for
+better SNRs and channel conditions ... if in the simulations above, we
+increase the SNR to reach target packet error rates of 1%, geometrical
+pruning reaches a 47% improvement compared to Geosphere with zigzag only."
+
+This ablation measures full-Geosphere vs zigzag-only PED calculations at
+the ~10% and ~1% vector-error operating points and reports the savings,
+plus the share of candidates eliminated by the lower-bound table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.rng import as_generator
+from .common import Scale, format_table, get_scale
+from .complexity import (
+    rayleigh_vector_source,
+    run_symbol_complexity,
+    snr_for_target_ver,
+)
+
+__all__ = ["PruningAblationResult", "run", "render"]
+
+CASES = ((2, 4), (4, 4))
+ORDERS = (64, 256)
+TARGETS = (0.10, 0.01)
+
+
+@dataclass
+class PruningAblationResult:
+    scale_name: str
+    #: (case, order, target) -> (zigzag_only_ped, full_ped, prunes)
+    measurements: dict[tuple[tuple[int, int], int, float],
+                       tuple[float, float, float]]
+    snrs_db: dict[tuple[tuple[int, int], int, float], float]
+
+    def savings(self, case, order, target) -> float:
+        zigzag, full, _ = self.measurements[(case, order, target)]
+        return 1.0 - full / zigzag if zigzag > 0 else 0.0
+
+
+def run(scale: str | Scale = "quick", seed: int = 777,
+        cases=CASES, orders=ORDERS, targets=TARGETS) -> PruningAblationResult:
+    scale = get_scale(scale)
+    rng = as_generator(seed)
+    measurements: dict = {}
+    snrs: dict = {}
+    for case in cases:
+        num_clients, num_antennas = case
+        for order in orders:
+            for target in targets:
+                snr_db = snr_for_target_ver(order, num_clients, num_antennas,
+                                            target, "rayleigh")
+                snrs[(case, order, target)] = snr_db
+                # Identical workloads for both variants: pruning can then
+                # only remove computation, never add it.
+                source_seed = int(rng.integers(1 << 31))
+                workload_seed = int(rng.integers(1 << 31))
+                results = {}
+                for decoder in ("geosphere-zigzag", "geosphere"):
+                    source = rayleigh_vector_source(num_antennas, num_clients,
+                                                    rng=source_seed)
+                    results[decoder] = run_symbol_complexity(
+                        decoder, order, source, snr_db, scale.num_vectors,
+                        rng=workload_seed)
+                measurements[(case, order, target)] = (
+                    results["geosphere-zigzag"].avg_ped_calcs,
+                    results["geosphere"].avg_ped_calcs,
+                    results["geosphere"].avg_geometric_prunes,
+                )
+    return PruningAblationResult(scale_name=scale.name,
+                                 measurements=measurements, snrs_db=snrs)
+
+
+def render(result: PruningAblationResult) -> str:
+    rows = []
+    for (case, order, target), (zigzag, full, prunes) in sorted(
+            result.measurements.items(), key=str):
+        rows.append([
+            f"{case[0]}x{case[1]}", f"{order}-QAM",
+            f"{target * 100:.0f}%",
+            f"{result.snrs_db[(case, order, target)]:.1f}",
+            f"{zigzag:.1f}", f"{full:.1f}", f"{prunes:.1f}",
+            f"{result.savings(case, order, target) * 100:.0f}%",
+        ])
+    table = format_table(
+        ["case", "modulation", "target VER", "SNR (dB)",
+         "zigzag-only PED", "full PED", "prunes/vec", "savings"],
+        rows,
+        title="Ablation - geometric pruning gains vs operating point",
+    )
+    notes = ("\nPaper anchors: pruning contributes 13-27% at ~10% error"
+             "\nrates and grows toward ~47% at 1%.")
+    return table + notes

@@ -1,0 +1,60 @@
+"""Plain-text CDF plotting for the figure drivers.
+
+The paper's Figs. 9, 10 are CDF plots; rendering them as ASCII curves
+keeps the benchmark output self-contained (no plotting dependencies) while
+still letting a reader eyeball crossovers and medians.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import require
+
+__all__ = ["ascii_cdf"]
+
+_MARKERS = "ox+*#@"
+
+
+def ascii_cdf(series: dict[str, np.ndarray], width: int = 64,
+              height: int = 16, x_label: str = "") -> str:
+    """Render empirical CDFs of several labelled series.
+
+    ``series`` maps a label to its samples; infinite values count as
+    "beyond the right edge".  Returns a multi-line string with a legend.
+    """
+    require(len(series) >= 1, "need at least one series")
+    require(width >= 16 and height >= 4, "plot too small to be readable")
+    finite = np.concatenate([
+        np.asarray(values, dtype=float)[np.isfinite(values)]
+        for values in series.values()
+    ])
+    require(finite.size > 0, "no finite samples to plot")
+    x_low = float(finite.min())
+    x_high = float(np.percentile(finite, 99))
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    xs = np.linspace(x_low, x_high, width)
+    for index, (label, values) in enumerate(series.items()):
+        samples = np.asarray(values, dtype=float)
+        marker = _MARKERS[index % len(_MARKERS)]
+        for column, x in enumerate(xs):
+            fraction = float(np.mean(samples <= x))
+            row = height - 1 - int(round(fraction * (height - 1)))
+            grid[row][column] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:4.1f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = f"{x_low:.0f}"
+    right = f"{x_high:.0f}"
+    padding = " " * max(1, width - len(left) - len(right))
+    lines.append("      " + left + padding + right
+                 + (f"  {x_label}" if x_label else ""))
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} = {label}"
+                        for i, label in enumerate(series))
+    lines.append("      " + legend)
+    return "\n".join(lines)

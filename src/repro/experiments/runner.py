@@ -1,0 +1,116 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.runner fig9 [--scale quick|full]
+    python -m repro.experiments.runner all --scale quick
+    python -m repro.experiments.runner calibrate
+
+or, after installation, ``geosphere-experiments fig11``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ablation_breadth_first,
+    ablation_enumeration,
+    ablation_hybrid,
+    ablation_pruning,
+    ablation_selection,
+    ablation_soft,
+    fig09_conditioning,
+    fig10_degradation,
+    fig11_throughput,
+    fig12_scaling,
+    fig13_mmse_sic,
+    fig14_complexity_testbed,
+    fig15_complexity_sim,
+    table1_summary,
+)
+from .complexity import CALIBRATED_SNRS_DB, snr_for_target_ver, trace_vector_source
+from .common import get_scale, testbed_trace
+
+EXPERIMENTS = {
+    "fig9": (fig09_conditioning, "Channel conditioning CDFs (kappa^2)"),
+    "fig10": (fig10_degradation, "ZF SNR degradation CDFs (Lambda)"),
+    "fig11": (fig11_throughput, "Testbed throughput: ZF vs Geosphere"),
+    "fig12": (fig12_scaling, "Throughput vs number of clients (4-antenna AP)"),
+    "fig13": (fig13_mmse_sic, "10-antenna AP: ZF vs MMSE-SIC vs Geosphere"),
+    "fig14": (fig14_complexity_testbed, "Complexity on testbed channels"),
+    "fig15": (fig15_complexity_sim, "Simulation complexity (2x4 and 4x4)"),
+    "table1": (table1_summary, "Summary of major results"),
+    "ablation-pruning": (ablation_pruning, "Geometric pruning gains vs SNR"),
+    "ablation-enumeration": (ablation_enumeration,
+                             "Enumeration micro-costs per node"),
+    "ablation-hybrid": (ablation_hybrid,
+                        "Condition-switching hybrid vs Geosphere"),
+    "ablation-breadth-first": (ablation_breadth_first,
+                               "Depth-first vs K-best / FCSD"),
+    "ablation-selection": (ablation_selection,
+                           "User selection vs random pairing"),
+    "ablation-soft": (ablation_soft,
+                      "Hard Geosphere vs soft list-sphere receiver"),
+}
+
+
+def _run_one(name: str, scale: str) -> str:
+    module, _ = EXPERIMENTS[name]
+    started = time.perf_counter()
+    result = module.run(scale)
+    report = module.render(result)
+    elapsed = time.perf_counter() - started
+    return f"{report}\n[{name} completed in {elapsed:.1f}s at scale '{scale}']"
+
+
+def _calibrate(scale: str) -> str:
+    """Regenerate the VER operating-point table (slow)."""
+    resolved = get_scale(scale)
+    lines = ["Recalibrated operating points (source, clients, antennas, "
+             "order, target) -> SNR dB:"]
+    for (num_clients, num_antennas) in ((2, 4), (4, 4)):
+        for order in (16, 64, 256):
+            for target in (0.10, 0.01):
+                snr = snr_for_target_ver(order, num_clients, num_antennas,
+                                         target, "rayleigh", use_cache=False)
+                lines.append(f"  rayleigh {num_clients}x{num_antennas} "
+                             f"{order}-QAM @{target:.0%}: {snr:.2f}")
+    for (num_clients, num_antennas) in ((2, 4), (4, 4)):
+        trace = testbed_trace(num_clients, num_antennas, resolved)
+        source = trace_vector_source(trace, rng=7)
+        snr = snr_for_target_ver(16, num_clients, num_antennas, 0.10,
+                                 "testbed", channel_source=source,
+                                 use_cache=False)
+        lines.append(f"  testbed {num_clients}x{num_antennas} 16-QAM "
+                     f"@10%: {snr:.2f}")
+    lines.append(f"(table currently holds {len(CALIBRATED_SNRS_DB)} entries)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="geosphere-experiments",
+        description="Regenerate the tables and figures of the Geosphere "
+                    "paper (SIGCOMM 2014).")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "calibrate"],
+                        help="which figure/table to regenerate")
+    parser.add_argument("--scale", default="quick", choices=["quick", "full"],
+                        help="workload size (default: quick)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "calibrate":
+        print(_calibrate(args.scale))
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_run_one(name, args.scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""MAC layer: user selection and TDMA scheduling."""
+
+from .scheduler import TdmaSchedule, round_robin_groups
+from .selection import (
+    select_best_conditioned,
+    select_users_in_snr_range,
+    select_users_random,
+)
+
+__all__ = [
+    "TdmaSchedule",
+    "round_robin_groups",
+    "select_best_conditioned",
+    "select_users_in_snr_range",
+    "select_users_random",
+]

@@ -1,0 +1,82 @@
+"""TDMA scheduling over client groups (paper Fig. 11 discussion).
+
+"Another question we may ask is whether zero-forcing and an appropriate
+time-division scheduling strategy could equal Geosphere's performance,
+with fewer clients per timeslot."  The scheduler here serves all clients
+fairly in fixed-size groups; the aggregate network throughput under TDMA
+is the slot-average of the per-group throughput, which the experiments
+compare against Geosphere serving everyone at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.validation import require
+
+__all__ = ["round_robin_groups", "TdmaSchedule"]
+
+
+def round_robin_groups(num_clients: int, group_size: int) -> list[tuple[int, ...]]:
+    """Fair rotation of fixed-size groups over ``num_clients`` clients.
+
+    Clients are arranged in a cycle and consecutive windows of
+    ``group_size`` are served in turn; every client appears in exactly
+    ``group_size`` of the ``num_clients`` slots, so airtime shares are
+    equal without solving a combinatorial design.
+    """
+    require(1 <= group_size <= num_clients,
+            f"group size {group_size} invalid for {num_clients} clients")
+    if group_size == num_clients:
+        return [tuple(range(num_clients))]
+    groups = []
+    for start in range(num_clients):
+        group = tuple((start + offset) % num_clients
+                      for offset in range(group_size))
+        groups.append(tuple(sorted(group)))
+    return groups
+
+
+@dataclass
+class TdmaSchedule:
+    """A round-robin schedule plus its throughput accounting."""
+
+    groups: list[tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        require(len(self.groups) >= 1, "schedule needs at least one slot")
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.groups)
+
+    def client_airtime_share(self, client: int) -> float:
+        """Fraction of slots in which ``client`` transmits."""
+        appearances = sum(1 for group in self.groups if client in group)
+        return appearances / self.num_slots
+
+    def network_throughput_bps(self, group_throughput) -> float:
+        """Slot-average aggregate throughput.
+
+        ``group_throughput`` maps a group (tuple of client indices) to the
+        aggregate throughput achieved when exactly that group transmits.
+        """
+        totals = [float(group_throughput(group)) for group in self.groups]
+        return float(np.mean(totals))
+
+    def per_client_throughput_bps(self, group_throughput,
+                                  num_clients: int) -> np.ndarray:
+        """Long-run per-client throughput under the schedule.
+
+        Assumes the group throughput splits evenly inside a slot (all
+        clients of a slot use the same modulation, as in the paper).
+        """
+        require(num_clients >= 1, "need at least one client")
+        per_client = np.zeros(num_clients)
+        for group in self.groups:
+            share = float(group_throughput(group)) / len(group)
+            for client in group:
+                per_client[client] += share
+        return per_client / self.num_slots

@@ -1,0 +1,24 @@
+"""OFDM substrate: 802.11-style numerology, modem, channel estimation."""
+
+from .estimation import estimate_channel, estimation_error, training_grid
+from .modem import (
+    PILOT_VALUE,
+    apply_multipath,
+    demodulate,
+    frequency_response,
+    modulate,
+)
+from .params import WIFI_20MHZ, OfdmParams
+
+__all__ = [
+    "OfdmParams",
+    "PILOT_VALUE",
+    "WIFI_20MHZ",
+    "apply_multipath",
+    "demodulate",
+    "estimate_channel",
+    "estimation_error",
+    "frequency_response",
+    "modulate",
+    "training_grid",
+]

@@ -1,0 +1,103 @@
+"""OFDM modulation/demodulation and multipath application.
+
+Time-domain path used by the integration tests and the full-PHY example:
+IFFT + cyclic prefix on transmit, linear-convolution multipath, CP removal
++ FFT on receive.  As long as the channel delay spread fits inside the
+cyclic prefix, the end-to-end map is exactly "one flat complex gain per
+subcarrier" — the property that lets the rest of the library do
+per-subcarrier MIMO detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import require
+from .params import OfdmParams
+
+__all__ = [
+    "modulate",
+    "demodulate",
+    "apply_multipath",
+    "frequency_response",
+    "PILOT_VALUE",
+]
+
+#: BPSK pilot value inserted on every pilot subcarrier.
+PILOT_VALUE = 1.0 + 0.0j
+
+
+def modulate(grid, params: OfdmParams) -> np.ndarray:
+    """Map a data grid to time-domain samples.
+
+    ``grid`` has shape ``(num_symbols, num_data_subcarriers)``; returns a
+    1-D complex sample stream of ``num_symbols * symbol_samples`` entries.
+    Uses orthonormal FFTs so average sample power equals average
+    constellation power times the subcarrier fill fraction.
+    """
+    grid = np.asarray(grid, dtype=np.complex128)
+    require(grid.ndim == 2, f"grid must be 2-D, got shape {grid.shape}")
+    require(grid.shape[1] == params.num_data_subcarriers,
+            f"grid has {grid.shape[1]} subcarriers, expected "
+            f"{params.num_data_subcarriers}")
+    num_symbols = grid.shape[0]
+    bins = np.zeros((num_symbols, params.fft_size), dtype=np.complex128)
+    bins[:, params.data_bin_indices()] = grid
+    bins[:, params.pilot_bin_indices()] = PILOT_VALUE
+    time_symbols = np.fft.ifft(bins, axis=1, norm="ortho")
+    with_cp = np.concatenate(
+        [time_symbols[:, -params.cp_length:], time_symbols], axis=1)
+    return with_cp.reshape(-1)
+
+
+def demodulate(samples, params: OfdmParams) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`modulate`; returns ``(data_grid, pilot_grid)``."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    require(samples.ndim == 1, "samples must be 1-D")
+    require(samples.size % params.symbol_samples == 0,
+            f"sample count {samples.size} is not a whole number of OFDM "
+            f"symbols ({params.symbol_samples} samples each)")
+    blocks = samples.reshape(-1, params.symbol_samples)[:, params.cp_length:]
+    bins = np.fft.fft(blocks, axis=1, norm="ortho")
+    return bins[:, params.data_bin_indices()], bins[:, params.pilot_bin_indices()]
+
+
+def apply_multipath(streams, taps) -> np.ndarray:
+    """Pass transmit streams through a MIMO tapped-delay-line channel.
+
+    ``streams`` is ``(num_tx, num_samples)``; ``taps`` is
+    ``(num_rx, num_tx, num_taps)``.  Returns ``(num_rx, num_samples)``
+    (the convolution tail is truncated, mimicking a receiver synchronised
+    to the first arriving path).
+    """
+    streams = np.asarray(streams, dtype=np.complex128)
+    taps = np.asarray(taps, dtype=np.complex128)
+    require(streams.ndim == 2, "streams must be (num_tx, num_samples)")
+    require(taps.ndim == 3, "taps must be (num_rx, num_tx, num_taps)")
+    require(taps.shape[1] == streams.shape[0],
+            f"taps expect {taps.shape[1]} transmit streams, got {streams.shape[0]}")
+    num_rx = taps.shape[0]
+    num_samples = streams.shape[1]
+    received = np.zeros((num_rx, num_samples), dtype=np.complex128)
+    for rx in range(num_rx):
+        for tx in range(streams.shape[0]):
+            received[rx] += np.convolve(streams[tx], taps[rx, tx])[:num_samples]
+    return received
+
+
+def frequency_response(taps, params: OfdmParams) -> np.ndarray:
+    """Per-data-subcarrier channel matrices of a tapped-delay channel.
+
+    Returns shape ``(num_data_subcarriers, num_rx, num_tx)`` — the format
+    consumed by :class:`repro.channel.trace.ChannelTrace` — computed as the
+    FFT of the taps evaluated at the data bins.
+    """
+    taps = np.asarray(taps, dtype=np.complex128)
+    require(taps.ndim == 3, "taps must be (num_rx, num_tx, num_taps)")
+    require(taps.shape[2] <= params.cp_length + 1,
+            f"delay spread ({taps.shape[2]} taps) exceeds the cyclic prefix "
+            f"({params.cp_length} samples); per-subcarrier detection would "
+            "suffer inter-symbol interference")
+    spectrum = np.fft.fft(taps, n=params.fft_size, axis=2)
+    picked = spectrum[:, :, params.data_bin_indices()]
+    return np.moveaxis(picked, 2, 0)

@@ -1,0 +1,90 @@
+"""OFDM numerology (paper section 4: 20 MHz, 802.11-style).
+
+The WARPLab implementation in the paper uses 802.11a/g OFDM over a 20 MHz
+channel: 64-point FFT, 48 data subcarriers, 4 pilots, and a 16-sample
+cyclic prefix (4 us symbols).  MIMO detection happens independently per
+data subcarrier, which is why every experiment reports per-subcarrier
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.validation import require
+
+__all__ = ["OfdmParams", "WIFI_20MHZ"]
+
+
+def _default_data_indices() -> tuple[int, ...]:
+    """The 48 data bins of 802.11a: +-1..26 minus pilots at +-7, +-21."""
+    pilots = {-21, -7, 7, 21}
+    indices = [k for k in range(-26, 27) if k != 0 and k not in pilots]
+    return tuple(indices)
+
+
+@dataclass(frozen=True)
+class OfdmParams:
+    """Immutable OFDM configuration.
+
+    Subcarrier indices are *logical* (negative = below carrier), mapped to
+    FFT bins modulo ``fft_size``.
+    """
+
+    fft_size: int = 64
+    cp_length: int = 16
+    sample_rate_hz: float = 20e6
+    data_subcarriers: tuple[int, ...] = field(default_factory=_default_data_indices)
+    pilot_subcarriers: tuple[int, ...] = (-21, -7, 7, 21)
+
+    def __post_init__(self) -> None:
+        require(self.fft_size >= 8, "FFT size must be >= 8")
+        require(0 <= self.cp_length < self.fft_size,
+                "cyclic prefix must be shorter than the FFT")
+        require(self.sample_rate_hz > 0, "sample rate must be positive")
+        used = list(self.data_subcarriers) + list(self.pilot_subcarriers)
+        require(len(set(used)) == len(used),
+                "data and pilot subcarriers must be disjoint")
+        half = self.fft_size // 2
+        require(all(-half < k < half and k != 0 for k in used),
+                "subcarrier indices must be non-zero and within the FFT")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_data_subcarriers(self) -> int:
+        return len(self.data_subcarriers)
+
+    @property
+    def symbol_samples(self) -> int:
+        """Samples per OFDM symbol including the cyclic prefix."""
+        return self.fft_size + self.cp_length
+
+    @property
+    def symbol_duration_s(self) -> float:
+        return self.symbol_samples / self.sample_rate_hz
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        return self.sample_rate_hz / self.fft_size
+
+    def data_bin_indices(self) -> np.ndarray:
+        """FFT bin index of each data subcarrier."""
+        return np.asarray([k % self.fft_size for k in self.data_subcarriers])
+
+    def pilot_bin_indices(self) -> np.ndarray:
+        """FFT bin index of each pilot subcarrier."""
+        return np.asarray([k % self.fft_size for k in self.pilot_subcarriers])
+
+    def data_frequency_offsets_hz(self) -> np.ndarray:
+        """Baseband frequency offset of each data subcarrier.
+
+        This is what the testbed trace generator evaluates the multipath
+        frequency response at, producing one channel matrix per subcarrier.
+        """
+        return np.asarray(self.data_subcarriers, dtype=float) * self.subcarrier_spacing_hz
+
+
+#: The configuration used throughout the paper's evaluation.
+WIFI_20MHZ = OfdmParams()

@@ -1,0 +1,61 @@
+"""PHY/link layer: frame pipeline, link simulation, throughput accounting."""
+
+from .config import PhyConfig, default_config
+from .link import (
+    FrameOutcome,
+    LinkSimulator,
+    LinkStats,
+    fixed_source,
+    rayleigh_source,
+    simulate_frame,
+    trace_source,
+)
+from .rate_adaptation import (
+    RateChoice,
+    ThresholdRateAdapter,
+    best_constellation_throughput,
+)
+from .receiver import (
+    StreamDecision,
+    recover_stream,
+    recover_stream_soft,
+    recover_uplink,
+)
+from .soft_link import SoftFrameOutcome, simulate_frame_soft
+from .throughput import frame_airtime_s, net_throughput_bps, phy_rate_bps
+from .transmitter import (
+    StreamFrame,
+    UplinkFrame,
+    build_uplink_frame,
+    encode_stream,
+    random_payloads,
+)
+
+__all__ = [
+    "FrameOutcome",
+    "LinkSimulator",
+    "LinkStats",
+    "PhyConfig",
+    "RateChoice",
+    "SoftFrameOutcome",
+    "StreamDecision",
+    "StreamFrame",
+    "ThresholdRateAdapter",
+    "UplinkFrame",
+    "simulate_frame_soft",
+    "best_constellation_throughput",
+    "build_uplink_frame",
+    "default_config",
+    "encode_stream",
+    "fixed_source",
+    "frame_airtime_s",
+    "net_throughput_bps",
+    "phy_rate_bps",
+    "random_payloads",
+    "rayleigh_source",
+    "recover_stream",
+    "recover_stream_soft",
+    "recover_uplink",
+    "simulate_frame",
+    "trace_source",
+]

@@ -1,0 +1,72 @@
+"""Link-layer configuration (paper section 4 transmission format).
+
+One :class:`PhyConfig` describes how every client builds a frame: the
+constellation, the (optional) rate-1/2 convolutional code, the OFDM
+numerology and the per-stream payload size.  All clients in an uplink
+transmission share the configuration, as they do in the paper's
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..coding.convolutional import WIFI_CODE, ConvolutionalCode
+from ..constellation.qam import QamConstellation, qam
+from ..ofdm.params import WIFI_20MHZ, OfdmParams
+from ..utils.validation import require
+
+__all__ = ["PhyConfig", "default_config"]
+
+
+@dataclass(frozen=True)
+class PhyConfig:
+    """Per-stream frame format.
+
+    Attributes
+    ----------
+    constellation:
+        Square QAM all streams modulate with.
+    code:
+        Convolutional code, or ``None`` for uncoded transmission (used by
+        symbol-level complexity experiments where coding is irrelevant).
+    ofdm:
+        OFDM numerology (defaults to the paper's 20 MHz / 48 subcarriers).
+    payload_bits:
+        Information bits per stream per frame, before the CRC-32.
+    """
+
+    constellation: QamConstellation
+    code: ConvolutionalCode | None = WIFI_CODE
+    ofdm: OfdmParams = WIFI_20MHZ
+    payload_bits: int = 400
+
+    def __post_init__(self) -> None:
+        require(self.payload_bits >= 8,
+                f"payload must be at least 8 bits, got {self.payload_bits}")
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return self.constellation.bits_per_symbol
+
+    @property
+    def coded_bits_per_ofdm_symbol(self) -> int:
+        """N_CBPS: coded bits per OFDM symbol per stream."""
+        return self.ofdm.num_data_subcarriers * self.bits_per_symbol
+
+    @property
+    def code_rate(self) -> float:
+        return 0.5 if self.code is not None else 1.0
+
+    def with_constellation(self, order: int) -> "PhyConfig":
+        """Same format at a different modulation (for rate adaptation)."""
+        return PhyConfig(constellation=qam(order), code=self.code,
+                         ofdm=self.ofdm, payload_bits=self.payload_bits)
+
+
+def default_config(order: int = 16, payload_bits: int = 400,
+                   coded: bool = True) -> PhyConfig:
+    """Convenience constructor used by examples and benchmarks."""
+    return PhyConfig(constellation=qam(order),
+                     code=WIFI_CODE if coded else None,
+                     payload_bits=payload_bits)

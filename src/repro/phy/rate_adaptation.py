@@ -1,0 +1,100 @@
+"""Ideal (oracle) rate adaptation (paper section 5.2 methodology).
+
+"In lieu of implementing a rate adaptation algorithm, we show throughput
+results for the constellation that achieves the best average throughput
+for the corresponding range; this emulates ideal bit rate adaptation and
+makes the results independent of the rate adaptation method employed."
+
+:func:`best_constellation_throughput` runs a link simulation per candidate
+constellation and keeps the winner — exactly that methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.rng import as_generator, spawn_generators
+from ..utils.validation import require
+from .config import PhyConfig
+from .link import LinkSimulator, LinkStats
+
+__all__ = ["RateChoice", "best_constellation_throughput",
+           "ThresholdRateAdapter"]
+
+#: The modulations transmitted in the paper's testbed runs (section 5.2).
+DEFAULT_ORDERS = (4, 16, 64)
+
+
+@dataclass
+class RateChoice:
+    """Winner of an oracle rate-adaptation sweep."""
+
+    order: int
+    stats: LinkStats
+    per_order: dict[int, LinkStats]
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.stats.throughput_bps
+
+
+class ThresholdRateAdapter:
+    """Practical SNR-threshold rate selection.
+
+    The oracle above is the paper's methodology; deployments instead pick
+    the modulation from the measured average stream SNR.  Default
+    thresholds follow the rate-1/2 operating points observed in our
+    calibration (see ``repro.experiments.complexity``): 16-QAM needs
+    roughly 15 dB per stream and 64-QAM roughly 21 dB on well-conditioned
+    channels, with margin for conditioning.
+    """
+
+    DEFAULT_THRESHOLDS_DB = {4: float("-inf"), 16: 17.0, 64: 24.0}
+
+    def __init__(self, thresholds_db: dict[int, float] | None = None) -> None:
+        table = dict(self.DEFAULT_THRESHOLDS_DB if thresholds_db is None
+                     else thresholds_db)
+        require(len(table) >= 1, "need at least one modulation threshold")
+        require(any(value == float("-inf") for value in table.values()),
+                "one modulation must be usable at any SNR "
+                "(threshold -inf)")
+        self._table = table
+
+    @property
+    def orders(self) -> tuple[int, ...]:
+        return tuple(sorted(self._table))
+
+    def choose_order(self, snr_db: float) -> int:
+        """Densest modulation whose threshold the SNR clears."""
+        eligible = [order for order, threshold in self._table.items()
+                    if snr_db >= threshold]
+        return max(eligible)
+
+    def choose_config(self, base_config: PhyConfig, snr_db: float) -> PhyConfig:
+        """Convenience: the base format at the chosen modulation."""
+        return base_config.with_constellation(self.choose_order(snr_db))
+
+
+def best_constellation_throughput(detector_factory, base_config: PhyConfig,
+                                  channel_source, snr_db: float,
+                                  num_frames: int, rng=None,
+                                  orders=DEFAULT_ORDERS,
+                                  overhead_symbols: int = 0) -> RateChoice:
+    """Oracle rate adaptation over ``orders``.
+
+    ``detector_factory`` maps a constellation to a detector (detectors are
+    constellation-specific).  Every candidate runs over its own independent
+    random stream so adding a candidate never perturbs the others.
+    """
+    require(len(orders) >= 1, "need at least one candidate constellation")
+    generator = as_generator(rng)
+    streams = spawn_generators(generator, len(orders))
+    per_order: dict[int, LinkStats] = {}
+    for order, stream in zip(orders, streams):
+        config = base_config.with_constellation(order)
+        simulator = LinkSimulator(detector_factory(config.constellation),
+                                  config, snr_db, overhead_symbols)
+        per_order[order] = simulator.run(channel_source, num_frames, stream)
+    best_order = max(per_order, key=lambda order: per_order[order].throughput_bps)
+    return RateChoice(order=best_order, stats=per_order[best_order],
+                      per_order=per_order)

@@ -1,0 +1,96 @@
+"""Uplink receive chain: undo the transmit chain after MIMO detection.
+
+The detector (ZF, MMSE-SIC or a sphere decoder) hands back hard symbol
+indices per (OFDM symbol, subcarrier, stream); this module turns them into
+per-stream payloads and CRC verdicts.  Frame success is judged exactly the
+way real link layers judge it — by the frame check sequence — never by
+comparing against the transmitted bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coding.crc import CRC_BITS, check_crc
+from ..coding.interleaver import deinterleave
+from ..coding.scrambler import descramble
+from ..coding.viterbi import viterbi_decode, viterbi_decode_soft
+from ..utils.validation import require
+from .config import PhyConfig
+
+__all__ = ["StreamDecision", "recover_stream", "recover_stream_soft",
+           "recover_uplink"]
+
+
+@dataclass
+class StreamDecision:
+    """Decoded payload and CRC verdict for one stream."""
+
+    payload_bits: np.ndarray
+    crc_ok: bool
+
+
+def recover_stream(symbol_indices, num_pad_bits: int,
+                   config: PhyConfig) -> StreamDecision:
+    """Decode one stream's detected symbol indices back to a payload."""
+    indices = np.asarray(symbol_indices).reshape(-1)
+    bits = config.constellation.indices_to_bits(indices)
+    n_cbps = config.coded_bits_per_ofdm_symbol
+    require(bits.size % n_cbps == 0,
+            f"detected bit count {bits.size} is not a whole number of OFDM "
+            "symbols")
+    deinterleaved = deinterleave(bits, n_cbps, config.bits_per_symbol)
+    if num_pad_bits:
+        deinterleaved = deinterleaved[:-num_pad_bits]
+    if config.code is not None:
+        framed = viterbi_decode(deinterleaved, config.code)
+    else:
+        framed = deinterleaved
+    descrambled = descramble(framed)
+    require(descrambled.size >= CRC_BITS + 1, "frame too short for a CRC")
+    payload = descrambled[:-CRC_BITS]
+    return StreamDecision(payload_bits=payload, crc_ok=check_crc(descrambled))
+
+
+def recover_stream_soft(reliabilities, num_pad_bits: int,
+                        config: PhyConfig) -> StreamDecision:
+    """Decode one stream from per-coded-bit reliabilities (soft decisions).
+
+    ``reliabilities`` follow the convention of
+    :mod:`repro.coding.viterbi`: positive values favour bit 0.  This is
+    the receive path for soft demapping (see :mod:`repro.detect.llr`),
+    the infrastructure behind the paper's future-work direction of
+    soft-output detection.  Requires a coded configuration.
+    """
+    require(config.code is not None,
+            "soft decoding requires a convolutional code in the config")
+    values = np.asarray(reliabilities, dtype=np.float64).reshape(-1)
+    n_cbps = config.coded_bits_per_ofdm_symbol
+    require(values.size % n_cbps == 0,
+            f"reliability count {values.size} is not a whole number of OFDM "
+            "symbols")
+    deinterleaved = deinterleave(values, n_cbps, config.bits_per_symbol)
+    if num_pad_bits:
+        deinterleaved = deinterleaved[:-num_pad_bits]
+    framed = viterbi_decode_soft(deinterleaved, config.code)
+    descrambled = descramble(framed)
+    require(descrambled.size >= CRC_BITS + 1, "frame too short for a CRC")
+    payload = descrambled[:-CRC_BITS]
+    return StreamDecision(payload_bits=payload, crc_ok=check_crc(descrambled))
+
+
+def recover_uplink(detected_indices, num_pad_bits: int,
+                   config: PhyConfig) -> list[StreamDecision]:
+    """Decode every stream of an uplink frame.
+
+    ``detected_indices`` has shape ``(num_ofdm_symbols, num_subcarriers,
+    num_clients)`` matching
+    :attr:`repro.phy.transmitter.UplinkFrame.symbol_tensor`.
+    """
+    tensor = np.asarray(detected_indices)
+    require(tensor.ndim == 3,
+            "detected indices must be (symbols, subcarriers, clients)")
+    return [recover_stream(tensor[:, :, client], num_pad_bits, config)
+            for client in range(tensor.shape[2])]

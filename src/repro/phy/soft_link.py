@@ -1,0 +1,93 @@
+"""Soft-decision uplink receiver (the paper's section-7 receiver, built).
+
+Combines the list sphere decoder (:mod:`repro.sphere.soft`) with the
+soft-decision Viterbi pipeline: every (OFDM symbol, subcarrier) detection
+produces per-bit LLRs for all streams, which are deinterleaved and decoded
+per stream.  This is the non-iterative soft receiver the paper names as
+the promising next step beyond hard-output Geosphere; the soft-vs-hard
+ablation quantifies what it buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.noise import awgn
+from ..sphere.counters import ComplexityCounters
+from ..sphere.soft import ListSphereDecoder
+from ..utils.rng import as_generator
+from ..utils.validation import require
+from .config import PhyConfig
+from .link import _noise_variance, _normalise_channels
+from .receiver import StreamDecision, recover_stream_soft
+from .transmitter import build_uplink_frame, random_payloads
+
+__all__ = ["SoftFrameOutcome", "simulate_frame_soft"]
+
+
+@dataclass
+class SoftFrameOutcome:
+    """Result of one soft-decoded uplink frame."""
+
+    stream_success: np.ndarray
+    num_ofdm_symbols: int
+    detections: int
+    counters: ComplexityCounters
+
+
+def simulate_frame_soft(channels, decoder: ListSphereDecoder,
+                        config: PhyConfig, snr_db: float, rng=None,
+                        payloads=None) -> SoftFrameOutcome:
+    """Simulate one uplink frame through the soft receive chain.
+
+    Mirrors :func:`repro.phy.link.simulate_frame` but every detection
+    yields LLRs; per-stream reliability sequences then run through
+    :func:`repro.phy.receiver.recover_stream_soft`.
+    """
+    require(config.code is not None,
+            "the soft receiver requires a coded configuration")
+    generator = as_generator(rng)
+    num_subcarriers = config.ofdm.num_data_subcarriers
+    matrices = _normalise_channels(channels, num_subcarriers)
+    num_clients = matrices.shape[2]
+    require(decoder.constellation is config.constellation,
+            "decoder and config must share the constellation")
+
+    if payloads is None:
+        payloads = random_payloads(num_clients, config, generator)
+    frame = build_uplink_frame(payloads, config)
+    tensor = frame.symbol_tensor                       # (T, S, nc)
+    num_symbols = tensor.shape[0]
+    bits_per_symbol = config.bits_per_symbol
+
+    noise_variance = _noise_variance(matrices, snr_db)
+    # llrs[t, s, c*Q:(c+1)*Q] = stream c's bit reliabilities at (t, s).
+    llrs = np.empty((num_symbols, num_subcarriers,
+                     num_clients * bits_per_symbol))
+    totals = ComplexityCounters()
+    detections = 0
+    for s in range(num_subcarriers):
+        channel = matrices[s]
+        sent = tensor[:, s, :]
+        clean = sent @ channel.T
+        received = clean + awgn(clean.shape, noise_variance, generator)
+        for t in range(num_symbols):
+            result = decoder.decode_soft(channel, received[t], noise_variance)
+            llrs[t, s, :] = result.llrs
+            totals.merge(result.counters)
+            detections += 1
+
+    decisions: list[StreamDecision] = []
+    for client in range(num_clients):
+        sliced = llrs[:, :, client * bits_per_symbol:
+                      (client + 1) * bits_per_symbol]
+        stream_llrs = sliced.reshape(-1)
+        decisions.append(recover_stream_soft(
+            stream_llrs, frame.streams[0].num_pad_bits, config))
+    success = np.array([decision.crc_ok for decision in decisions])
+    return SoftFrameOutcome(stream_success=success,
+                            num_ofdm_symbols=num_symbols,
+                            detections=detections,
+                            counters=totals)

@@ -1,0 +1,38 @@
+"""Net-throughput accounting (paper section 5.2).
+
+The paper reports *net throughput* in Mbps: information bits delivered
+(frames that pass the check) divided by airtime.  Airtime follows the
+802.11 OFDM timing of the configuration: 4 us per OFDM symbol at 20 MHz,
+plus an optional per-frame overhead (training/signalling symbols), zero by
+default so multi-client scaling plots stay interpretable.
+"""
+
+from __future__ import annotations
+
+from ..utils.validation import require
+from .config import PhyConfig
+
+__all__ = ["phy_rate_bps", "frame_airtime_s", "net_throughput_bps"]
+
+
+def phy_rate_bps(config: PhyConfig, num_streams: int) -> float:
+    """Peak PHY rate: streams x subcarriers x bits/symbol x code rate / T."""
+    require(num_streams >= 1, "need at least one stream")
+    bits_per_ofdm_symbol = (num_streams * config.ofdm.num_data_subcarriers
+                            * config.bits_per_symbol * config.code_rate)
+    return bits_per_ofdm_symbol / config.ofdm.symbol_duration_s
+
+
+def frame_airtime_s(num_ofdm_symbols: int, config: PhyConfig,
+                    overhead_symbols: int = 0) -> float:
+    """Airtime of one frame, including optional per-frame overhead."""
+    require(num_ofdm_symbols >= 1, "frame must contain at least one symbol")
+    require(overhead_symbols >= 0, "overhead cannot be negative")
+    return (num_ofdm_symbols + overhead_symbols) * config.ofdm.symbol_duration_s
+
+
+def net_throughput_bps(delivered_info_bits: float, airtime_s: float) -> float:
+    """Delivered information bits divided by airtime."""
+    require(airtime_s > 0.0, "airtime must be positive")
+    require(delivered_info_bits >= 0.0, "delivered bits cannot be negative")
+    return delivered_info_bits / airtime_s

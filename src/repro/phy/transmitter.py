@@ -1,0 +1,94 @@
+"""Uplink transmit chain (paper section 4).
+
+Per stream: payload -> CRC-32 -> scramble -> rate-1/2 convolutional encode
+-> pad to a whole number of OFDM symbols -> 802.11 interleave -> Gray QAM
+map -> per-subcarrier grid.  All streams of an uplink frame are built with
+the same length so they align symbol-for-symbol on the air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coding.crc import append_crc
+from ..coding.interleaver import interleave
+from ..coding.scrambler import scramble
+from ..utils.rng import as_generator
+from ..utils.validation import as_bit_array, require
+from .config import PhyConfig
+
+__all__ = ["StreamFrame", "UplinkFrame", "encode_stream", "build_uplink_frame",
+           "random_payloads"]
+
+
+@dataclass
+class StreamFrame:
+    """One client's modulated frame plus the bookkeeping to undo it."""
+
+    payload_bits: np.ndarray
+    coded_bits: np.ndarray          # after CRC/scramble/FEC/padding/interleave
+    num_pad_bits: int
+    symbol_indices: np.ndarray      # flattened constellation indices
+    grid: np.ndarray                # (num_ofdm_symbols, num_subcarriers)
+
+
+@dataclass
+class UplinkFrame:
+    """A synchronised multi-client uplink transmission.
+
+    ``symbol_tensor`` has shape ``(num_ofdm_symbols, num_subcarriers,
+    num_clients)`` — the ``x`` of ``y = Hx + w`` for every channel use.
+    """
+
+    streams: list[StreamFrame]
+    symbol_tensor: np.ndarray
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.streams)
+
+    @property
+    def num_ofdm_symbols(self) -> int:
+        return self.symbol_tensor.shape[0]
+
+
+def encode_stream(payload, config: PhyConfig) -> StreamFrame:
+    """Run one payload through the full transmit chain."""
+    payload = as_bit_array(payload, "payload")
+    require(payload.size == config.payload_bits,
+            f"payload has {payload.size} bits, config expects "
+            f"{config.payload_bits}")
+    framed = scramble(append_crc(payload))
+    if config.code is not None:
+        coded = config.code.encode(framed)
+    else:
+        coded = framed
+    n_cbps = config.coded_bits_per_ofdm_symbol
+    num_pad = (-coded.size) % n_cbps
+    padded = np.concatenate([coded, np.zeros(num_pad, dtype=np.uint8)])
+    interleaved = interleave(padded, n_cbps, config.bits_per_symbol)
+    indices = config.constellation.bits_to_indices(interleaved)
+    symbols = config.constellation.points[indices]
+    grid = symbols.reshape(-1, config.ofdm.num_data_subcarriers)
+    return StreamFrame(payload_bits=payload, coded_bits=interleaved,
+                       num_pad_bits=num_pad, symbol_indices=indices, grid=grid)
+
+
+def build_uplink_frame(payloads, config: PhyConfig) -> UplinkFrame:
+    """Build the synchronised frame of several clients."""
+    require(len(payloads) >= 1, "need at least one client payload")
+    streams = [encode_stream(payload, config) for payload in payloads]
+    lengths = {stream.grid.shape[0] for stream in streams}
+    require(len(lengths) == 1, "client frames must have equal length")
+    tensor = np.stack([stream.grid for stream in streams], axis=2)
+    return UplinkFrame(streams=streams, symbol_tensor=tensor)
+
+
+def random_payloads(num_clients: int, config: PhyConfig, rng=None) -> list[np.ndarray]:
+    """Independent random payloads, one per client."""
+    require(num_clients >= 1, "need at least one client")
+    generator = as_generator(rng)
+    return [generator.integers(0, 2, config.payload_bits).astype(np.uint8)
+            for _ in range(num_clients)]

@@ -1,0 +1,68 @@
+"""Sphere decoding: the paper's core contribution and its baselines.
+
+Public surface:
+
+* :class:`SphereDecoder` — depth-first Schnorr–Euchner engine with
+  pluggable enumeration;
+* :func:`geosphere_decoder` / :func:`geosphere_zigzag_only` /
+  :func:`eth_sd_decoder` / :func:`shabany_decoder` /
+  :func:`exhaustive_se_decoder` — the named configurations evaluated in
+  the paper;
+* :class:`ComplexityCounters` — the PED-calculation / visited-node
+  accounting behind Figs. 14-15;
+* :class:`GeometricPruner` — the table-driven branch lower bound.
+"""
+
+from .counters import ComplexityCounters
+from .decoder import (
+    SphereDecoder,
+    SphereDecoderResult,
+    eth_sd_decoder,
+    exhaustive_se_decoder,
+    geosphere_decoder,
+    geosphere_zigzag_only,
+    shabany_decoder,
+)
+from .enumerator import AxisOrder, Candidate, build_axes
+from .exhaustive import ExhaustiveEnumerator
+from .fcsd import FixedComplexityDecoder
+from .hess import HessEnumerator
+from .kbest import KBestDecoder
+from .pruning import GeometricPruner, lower_bound_sq_table
+from .qr import triangularize
+from .shabany import ShabanyEnumerator
+from .soft import ListSphereDecoder, SoftDecodeResult
+from .treesize import (
+    exhaustive_distance_count,
+    full_tree_node_count,
+    worst_case_ped_calcs,
+)
+from .zigzag import GeosphereEnumerator
+
+__all__ = [
+    "AxisOrder",
+    "Candidate",
+    "ComplexityCounters",
+    "ExhaustiveEnumerator",
+    "FixedComplexityDecoder",
+    "GeometricPruner",
+    "GeosphereEnumerator",
+    "HessEnumerator",
+    "KBestDecoder",
+    "ListSphereDecoder",
+    "ShabanyEnumerator",
+    "SoftDecodeResult",
+    "SphereDecoder",
+    "SphereDecoderResult",
+    "build_axes",
+    "eth_sd_decoder",
+    "exhaustive_distance_count",
+    "exhaustive_se_decoder",
+    "full_tree_node_count",
+    "geosphere_decoder",
+    "geosphere_zigzag_only",
+    "lower_bound_sq_table",
+    "shabany_decoder",
+    "triangularize",
+    "worst_case_ped_calcs",
+]

@@ -1,0 +1,29 @@
+"""Simulated indoor testbed (WARP v3 substitute): floor plan, ray tracing,
+channel-trace generation."""
+
+from .floorplan import FloorPlan, Wall, default_office_plan
+from .generator import generate_testbed_trace, link_channel
+from .positions import (
+    ANTENNA_SPACING_M,
+    CARRIER_FREQUENCY_HZ,
+    WAVELENGTH_M,
+    TestbedLayout,
+    default_layout,
+)
+from .raytrace import SPEED_OF_LIGHT, segment_intersections, trace_paths
+
+__all__ = [
+    "ANTENNA_SPACING_M",
+    "CARRIER_FREQUENCY_HZ",
+    "FloorPlan",
+    "SPEED_OF_LIGHT",
+    "TestbedLayout",
+    "WAVELENGTH_M",
+    "Wall",
+    "default_layout",
+    "default_office_plan",
+    "generate_testbed_trace",
+    "link_channel",
+    "segment_intersections",
+    "trace_paths",
+]

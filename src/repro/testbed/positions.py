@@ -1,0 +1,90 @@
+"""Node placement for the simulated 15-node testbed.
+
+The paper's testbed has single-antenna clients and four-antenna APs spread
+over the office of Fig. 8.  We place 4 candidate AP array centres (in and
+near the corridor, where an operator would mount them) and 11 client
+positions in the offices — 15 nodes total, like the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.validation import require
+from .floorplan import FloorPlan, default_office_plan
+
+__all__ = ["TestbedLayout", "default_layout", "CARRIER_FREQUENCY_HZ",
+           "WAVELENGTH_M", "ANTENNA_SPACING_M"]
+
+#: 5 GHz ISM band carrier used by the paper's WARP radios.
+CARRIER_FREQUENCY_HZ = 5.24e9
+WAVELENGTH_M = 299_792_458.0 / CARRIER_FREQUENCY_HZ
+#: "The distance between consecutive AP antennas is about 20 cm
+#: (approximately 3.2 lambda)".
+ANTENNA_SPACING_M = 0.20
+
+
+@dataclass(frozen=True)
+class TestbedLayout:
+    """Floor plan plus node positions."""
+
+    __test__ = False  # name starts with "Test" but this is not a test class
+
+    plan: FloorPlan
+    ap_positions: tuple[tuple[float, float], ...]
+    ap_orientations_rad: tuple[float, ...]
+    client_positions: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        require(len(self.ap_positions) >= 1, "need at least one AP position")
+        require(len(self.ap_positions) == len(self.ap_orientations_rad),
+                "each AP position needs an array orientation")
+        require(len(self.client_positions) >= 2,
+                "need at least two client positions")
+        for point in list(self.ap_positions) + list(self.client_positions):
+            require(self.plan.contains(point),
+                    f"node position {point} is outside the floor plan")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.ap_positions) + len(self.client_positions)
+
+    def ap_antenna_positions(self, ap_index: int,
+                             num_antennas: int) -> np.ndarray:
+        """Positions of a uniform linear array centred on the AP.
+
+        Antennas are spaced :data:`ANTENNA_SPACING_M` apart along the
+        array orientation, matching the paper's 3.2-lambda spacing.
+        """
+        require(0 <= ap_index < len(self.ap_positions),
+                f"AP index {ap_index} out of range")
+        require(num_antennas >= 1, "need at least one antenna")
+        centre = np.asarray(self.ap_positions[ap_index], dtype=float)
+        angle = self.ap_orientations_rad[ap_index]
+        direction = np.array([np.cos(angle), np.sin(angle)])
+        offsets = (np.arange(num_antennas) - (num_antennas - 1) / 2.0)
+        return centre[None, :] + offsets[:, None] * ANTENNA_SPACING_M * direction[None, :]
+
+
+def default_layout() -> TestbedLayout:
+    """The 15-node layout used by every trace-driven experiment."""
+    plan = default_office_plan()
+    ap_positions = (
+        (5.0, 7.5),    # corridor, west
+        (15.0, 7.5),   # corridor, centre
+        (25.0, 7.5),   # corridor, east
+        (10.0, 3.2),   # inside a south office
+    )
+    # Arrays along the corridor axis for corridor APs, tilted for the
+    # office AP.
+    ap_orientations = (0.0, 0.0, 0.0, np.pi / 4)
+    client_positions = (
+        (3.0, 3.0), (9.0, 4.0), (15.0, 2.0), (21.0, 3.0), (27.0, 4.0),
+        (3.0, 12.0), (9.0, 11.0), (15.0, 13.0), (21.0, 12.0), (27.0, 11.0),
+        (20.0, 7.8),  # a client in the corridor itself
+    )
+    return TestbedLayout(plan=plan, ap_positions=ap_positions,
+                         ap_orientations_rad=ap_orientations,
+                         client_positions=client_positions)

@@ -1,0 +1,22 @@
+"""Shared utilities: deterministic RNG handling and input validation."""
+
+from .rng import as_generator, spawn_generators
+from .validation import (
+    as_bit_array,
+    as_complex_matrix,
+    as_complex_vector,
+    check_power_of_two,
+    check_square_qam_order,
+    require,
+)
+
+__all__ = [
+    "as_bit_array",
+    "as_complex_matrix",
+    "as_complex_vector",
+    "as_generator",
+    "check_power_of_two",
+    "check_square_qam_order",
+    "require",
+    "spawn_generators",
+]

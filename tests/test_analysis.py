@@ -1,0 +1,121 @@
+"""Tests validating the simulator against closed-form AWGN theory.
+
+These are the library's strongest correctness anchors: a fraction-of-a-dB
+error anywhere in the constellation normalisation, noise convention or
+slicing would break the Monte-Carlo vs theory agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    error_rate_sweep,
+    q_function,
+    qam_bit_error_rate_awgn_approx,
+    qam_symbol_error_rate_awgn,
+)
+from repro.channel import db_to_linear
+from repro.constellation import qam
+from repro.detect import ZeroForcingDetector
+from repro.phy import fixed_source, rayleigh_source
+from repro.sphere import geosphere_decoder
+from repro.detect import SphereDetector
+
+
+class TestQFunction:
+    def test_known_values(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+        assert float(q_function(1.0)) == pytest.approx(0.158655, abs=1e-6)
+        assert float(q_function(3.0)) == pytest.approx(0.001350, abs=1e-6)
+
+    def test_symmetry(self):
+        assert float(q_function(-1.5) + q_function(1.5)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        values = q_function(np.linspace(-3, 3, 50))
+        assert (np.diff(values) < 0).all()
+
+
+class TestClosedForms:
+    def test_ser_decreases_with_snr(self):
+        snrs = db_to_linear(np.array([5.0, 10.0, 15.0, 20.0]))
+        ser = qam_symbol_error_rate_awgn(16, snrs)
+        assert (np.diff(ser) < 0).all()
+
+    def test_denser_constellations_are_harder(self):
+        snr = db_to_linear(18.0)
+        assert (qam_symbol_error_rate_awgn(4, snr)
+                < qam_symbol_error_rate_awgn(16, snr)
+                < qam_symbol_error_rate_awgn(64, snr)
+                < qam_symbol_error_rate_awgn(256, snr))
+
+    def test_ber_below_ser(self):
+        snr = db_to_linear(15.0)
+        assert (qam_bit_error_rate_awgn_approx(16, snr)
+                < qam_symbol_error_rate_awgn(16, snr))
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            qam_symbol_error_rate_awgn(32, 10.0)
+        with pytest.raises(ValueError):
+            qam_symbol_error_rate_awgn(16, 0.0)
+
+
+class TestMonteCarloAgreement:
+    """Simulated SER over an identity channel must match theory."""
+
+    @pytest.mark.parametrize("order,snr_db", [(4, 10.0), (16, 16.0),
+                                              (64, 22.0)])
+    def test_awgn_ser_matches_theory(self, order, snr_db):
+        constellation = qam(order)
+        detector = ZeroForcingDetector(constellation)
+        source = fixed_source(np.eye(1, dtype=complex))
+        points = error_rate_sweep(detector, constellation, source,
+                                  [snr_db], vectors_per_point=6000, rng=1)
+        theory = float(qam_symbol_error_rate_awgn(order, db_to_linear(snr_db)))
+        measured = points[0].symbol_error_rate
+        assert measured == pytest.approx(theory, rel=0.25, abs=2e-3)
+
+    def test_gray_ber_close_to_ser_over_bits(self):
+        constellation = qam(16)
+        detector = ZeroForcingDetector(constellation)
+        source = fixed_source(np.eye(1, dtype=complex))
+        points = error_rate_sweep(detector, constellation, source,
+                                  [14.0], vectors_per_point=6000, rng=2)
+        # Gray labelling: ~1 bit flips per symbol error.
+        ratio = points[0].bit_error_rate / max(points[0].symbol_error_rate,
+                                               1e-9)
+        assert 1 / 4 * 0.8 <= ratio <= 1 / 4 * 1.6
+
+
+class TestSweepMechanics:
+    def test_sweep_returns_one_point_per_snr(self):
+        constellation = qam(4)
+        detector = SphereDetector(geosphere_decoder(constellation))
+        points = error_rate_sweep(detector, constellation,
+                                  rayleigh_source(2, 2, rng=3),
+                                  [0.0, 10.0, 20.0], vectors_per_point=50,
+                                  rng=4)
+        assert [p.snr_db for p in points] == [0.0, 10.0, 20.0]
+        errors = [p.vector_error_rate for p in points]
+        assert errors[0] >= errors[-1]
+
+    def test_ml_never_worse_than_zf_in_sweep(self):
+        constellation = qam(16)
+        source_seed = 5
+        zf_points = error_rate_sweep(
+            ZeroForcingDetector(constellation), constellation,
+            rayleigh_source(4, 4, rng=source_seed), [12.0],
+            vectors_per_point=300, rng=6)
+        ml_points = error_rate_sweep(
+            SphereDetector(geosphere_decoder(constellation)), constellation,
+            rayleigh_source(4, 4, rng=source_seed), [12.0],
+            vectors_per_point=300, rng=6)
+        assert (ml_points[0].symbol_error_rate
+                <= zf_points[0].symbol_error_rate)
+
+    def test_rejects_empty_snr_list(self):
+        constellation = qam(4)
+        with pytest.raises(ValueError):
+            error_rate_sweep(ZeroForcingDetector(constellation),
+                             constellation, rayleigh_source(2, 2, rng=0), [])

@@ -1,0 +1,46 @@
+"""Tests for the ASCII CDF renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_plot import ascii_cdf
+
+
+class TestAsciiCdf:
+    def test_contains_axes_and_legend(self):
+        text = ascii_cdf({"a": np.arange(100.0)}, x_label="dB")
+        assert "o = a" in text
+        assert "dB" in text
+        assert "1.0 |" in text
+        assert "0.0 |" in text
+
+    def test_two_series_get_distinct_markers(self):
+        text = ascii_cdf({"low": np.arange(50.0), "high": np.arange(50.0) + 30})
+        assert "o = low" in text
+        assert "x = high" in text
+
+    def test_stochastic_dominance_visible(self):
+        """A shifted distribution's curve sits to the right: at the median
+        x of the left series, the right series' CDF is lower."""
+        rng = np.random.default_rng(0)
+        left = rng.normal(0, 1, 500)
+        right = rng.normal(5, 1, 500)
+        text = ascii_cdf({"left": left, "right": right})
+        assert isinstance(text, str) and len(text.splitlines()) >= 10
+
+    def test_handles_infinite_values(self):
+        values = np.array([1.0, 2.0, np.inf, np.inf])
+        text = ascii_cdf({"partial": values})
+        assert "partial" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({"a": np.arange(10.0)}, width=4, height=2)
+
+    def test_rejects_all_infinite(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({"a": np.array([np.inf, np.inf])})

@@ -1,0 +1,96 @@
+"""Tests for conditioning metrics (paper section 5.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    condition_number,
+    condition_number_sq_db,
+    mimo_capacity_bits,
+    rayleigh_channel,
+    stream_snr_after_zf,
+    stream_snr_before_zf,
+    worst_stream_degradation_db,
+    zf_snr_degradation,
+)
+
+
+class TestConditionNumber:
+    def test_identity_has_unit_condition(self):
+        assert condition_number(np.eye(4)) == pytest.approx(1.0)
+        assert condition_number_sq_db(np.eye(4)) == pytest.approx(0.0)
+
+    def test_diagonal_matrix(self):
+        matrix = np.diag([10.0, 1.0]).astype(complex)
+        assert condition_number(matrix) == pytest.approx(10.0)
+        assert condition_number_sq_db(matrix) == pytest.approx(20.0)
+
+    def test_singular_matrix_is_infinite(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 1.0]], dtype=complex)
+        assert condition_number(matrix) == np.inf
+        assert condition_number_sq_db(matrix) == np.inf
+
+    def test_unitary_invariance(self):
+        rng = np.random.default_rng(0)
+        channel = rayleigh_channel(4, 4, rng)
+        q, _ = np.linalg.qr(rayleigh_channel(4, 4, rng))
+        assert condition_number(q @ channel) == pytest.approx(condition_number(channel))
+
+
+class TestZfDegradation:
+    def test_orthogonal_channel_has_no_degradation(self):
+        assert np.allclose(zf_snr_degradation(np.eye(3) * 2.0), 1.0)
+        assert worst_stream_degradation_db(np.eye(3)) == pytest.approx(0.0)
+
+    def test_degradation_matches_snr_ratio(self):
+        """lambda_k must equal SNR_before / SNR_after for every stream."""
+        channel = rayleigh_channel(4, 3, rng=1)
+        noise_variance = 0.1
+        before = stream_snr_before_zf(channel, noise_variance)
+        after = stream_snr_after_zf(channel, noise_variance)
+        assert zf_snr_degradation(channel) == pytest.approx(before / after)
+
+    def test_rejects_wide_channel(self):
+        with pytest.raises(ValueError):
+            zf_snr_degradation(rayleigh_channel(2, 4, rng=0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_degradation_at_least_one(self, seed):
+        channel = rayleigh_channel(4, 4, rng=seed)
+        assert (zf_snr_degradation(channel) >= 1.0).all()
+
+    def test_singular_channel_gives_infinite_lambda(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 1.0]], dtype=complex)
+        assert worst_stream_degradation_db(matrix) == np.inf or (
+            worst_stream_degradation_db(matrix) > 100.0
+        )
+
+
+class TestCapacity:
+    def test_capacity_grows_with_snr(self):
+        channel = rayleigh_channel(4, 4, rng=2)
+        low = mimo_capacity_bits(channel, 1.0)
+        high = mimo_capacity_bits(channel, 100.0)
+        assert high > low
+
+    def test_identity_capacity_closed_form(self):
+        snr = 10.0
+        capacity = mimo_capacity_bits(np.eye(2), snr)
+        assert capacity == pytest.approx(2 * np.log2(1 + snr / 2))
+
+    def test_more_antennas_more_capacity(self):
+        rng = np.random.default_rng(3)
+        small = np.mean([
+            mimo_capacity_bits(rayleigh_channel(2, 2, rng), 10.0) for _ in range(100)
+        ])
+        large = np.mean([
+            mimo_capacity_bits(rayleigh_channel(4, 4, rng), 10.0) for _ in range(100)
+        ])
+        assert large > 1.5 * small
+
+    def test_rejects_bad_snr(self):
+        with pytest.raises(ValueError):
+            mimo_capacity_bits(np.eye(2), 0.0)

@@ -1,0 +1,140 @@
+"""Tests for Rayleigh, correlated and geometric channel models."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    GeometricChannelModel,
+    Path,
+    RayleighChannelModel,
+    channel_from_paths,
+    condition_number_sq_db,
+    correlated_rayleigh_channel,
+    exponential_correlation,
+    rayleigh_channel,
+    rayleigh_channels,
+    steering_vector,
+)
+
+
+class TestRayleigh:
+    def test_unit_average_power(self):
+        channels = rayleigh_channels(2000, 4, 4, rng=0)
+        assert np.mean(np.abs(channels) ** 2) == pytest.approx(1.0, rel=0.02)
+
+    def test_shapes(self):
+        assert rayleigh_channel(4, 2, rng=0).shape == (4, 2)
+        assert rayleigh_channels(7, 3, 2, rng=0).shape == (7, 3, 2)
+
+    def test_model_interface(self):
+        model = RayleighChannelModel(4, 2, rng=0)
+        assert model.next_channel().shape == (4, 2)
+        assert model.next_frequency_selective(48).shape == (48, 4, 2)
+
+    def test_model_rejects_more_clients_than_antennas(self):
+        with pytest.raises(ValueError):
+            RayleighChannelModel(2, 4)
+
+    def test_independent_draws_differ(self):
+        model = RayleighChannelModel(2, 2, rng=0)
+        assert not np.allclose(model.next_channel(), model.next_channel())
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            rayleigh_channels(0, 2, 2)
+
+
+class TestCorrelated:
+    def test_identity_when_uncorrelated(self):
+        assert np.allclose(exponential_correlation(4, 0.0), np.eye(4))
+
+    def test_exponential_structure(self):
+        matrix = exponential_correlation(3, 0.5)
+        assert matrix[0, 2] == pytest.approx(0.25)
+        assert matrix[1, 0] == pytest.approx(0.5)
+
+    def test_high_correlation_raises_condition_number(self):
+        rng = np.random.default_rng(0)
+        low = np.median([
+            condition_number_sq_db(correlated_rayleigh_channel(4, 4, 0.0, 0.0, rng))
+            for _ in range(50)
+        ])
+        high = np.median([
+            condition_number_sq_db(correlated_rayleigh_channel(4, 4, 0.95, 0.95, rng))
+            for _ in range(50)
+        ])
+        assert high > low + 10.0
+
+    def test_rejects_out_of_range_coefficient(self):
+        with pytest.raises(ValueError):
+            exponential_correlation(4, 1.0)
+
+
+class TestSteeringVector:
+    def test_unit_magnitude_elements(self):
+        vector = steering_vector(0.3, 8, 0.5)
+        assert np.allclose(np.abs(vector), 1.0)
+
+    def test_broadside_is_all_ones(self):
+        assert np.allclose(steering_vector(0.0, 4, 0.5), 1.0)
+
+    def test_distinct_angles_give_distinct_vectors(self):
+        a = steering_vector(0.1, 4, 0.5)
+        b = steering_vector(0.5, 4, 0.5)
+        assert not np.allclose(a, b)
+
+
+class TestChannelFromPaths:
+    def test_single_path_column_is_scaled_steering_vector(self):
+        path = Path(gain=2.0 + 0j, aoa_rad=0.2)
+        matrix = channel_from_paths([[path]], num_antennas=4, spacing_wavelengths=0.5)
+        expected = 2.0 * steering_vector(0.2, 4, 0.5)
+        assert np.allclose(matrix[:, 0], expected)
+
+    def test_frequency_selectivity_from_delay(self):
+        paths = [[Path(gain=1.0, aoa_rad=0.0, delay_s=0.0),
+                  Path(gain=1.0, aoa_rad=0.3, delay_s=100e-9)]]
+        offsets = np.array([0.0, 5e6])
+        matrices = channel_from_paths(paths, 2, 0.5, frequency_offsets_hz=offsets)
+        assert matrices.shape == (2, 2, 1)
+        assert not np.allclose(matrices[0], matrices[1])
+
+    def test_zero_delay_is_frequency_flat(self):
+        paths = [[Path(gain=1.0, aoa_rad=0.1)]]
+        offsets = np.array([0.0, 1e7])
+        matrices = channel_from_paths(paths, 2, 0.5, frequency_offsets_hz=offsets)
+        assert np.allclose(matrices[0], matrices[1])
+
+    def test_rejects_client_with_no_paths(self):
+        with pytest.raises(ValueError):
+            channel_from_paths([[]], 2, 0.5)
+
+
+class TestGeometricModel:
+    def test_small_spread_is_poorly_conditioned(self):
+        """The Fig. 2 effect: clustered paths => ill-conditioned channels."""
+        narrow_model = GeometricChannelModel(4, rng=0)
+        wide_model = GeometricChannelModel(4, rng=1)
+        narrow = np.median([
+            condition_number_sq_db(narrow_model.sample(4, angular_spread_deg=1.0))
+            for _ in range(40)
+        ])
+        wide = np.median([
+            condition_number_sq_db(wide_model.sample(4, angular_spread_deg=40.0))
+            for _ in range(40)
+        ])
+        assert narrow > wide
+
+    def test_columns_have_unit_average_power(self):
+        model = GeometricChannelModel(4, rng=0)
+        channel = model.sample(3, angular_spread_deg=10.0)
+        column_power = np.sum(np.abs(channel) ** 2, axis=0) / 4
+        assert np.allclose(column_power, 1.0)
+
+    def test_shape(self):
+        model = GeometricChannelModel(6, rng=0)
+        assert model.sample(2, 5.0).shape == (6, 2)
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(ValueError):
+            GeometricChannelModel(4, rng=0).sample(2, -1.0)

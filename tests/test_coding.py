@@ -1,0 +1,245 @@
+"""Tests for the convolutional code, Viterbi decoder, interleaver,
+scrambler and CRC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import (
+    WIFI_CODE,
+    ConvolutionalCode,
+    append_crc,
+    check_crc,
+    crc32_bits,
+    deinterleave,
+    descramble,
+    interleave,
+    interleaver_permutation,
+    scramble,
+    scrambler_sequence,
+    viterbi_decode,
+    viterbi_decode_soft,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=8, max_size=200)
+
+
+class TestEncoder:
+    def test_rate_and_termination_length(self):
+        bits = np.zeros(100, dtype=np.uint8)
+        coded = WIFI_CODE.encode(bits)
+        assert coded.size == (100 + 6) * 2
+        assert WIFI_CODE.coded_length(100) == coded.size
+
+    def test_all_zeros_encode_to_all_zeros(self):
+        coded = WIFI_CODE.encode(np.zeros(40, dtype=np.uint8))
+        assert not coded.any()
+
+    def test_known_impulse_response(self):
+        """A single 1 produces the generator polynomials as output."""
+        coded = WIFI_CODE.encode(np.array([1], dtype=np.uint8))
+        g0 = coded[0::2]
+        g1 = coded[1::2]
+        assert list(g0) == [(0o133 >> shift) & 1 for shift in range(6, -1, -1)]
+        assert list(g1) == [(0o171 >> shift) & 1 for shift in range(6, -1, -1)]
+
+    def test_linearity(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 64).astype(np.uint8)
+        b = rng.integers(0, 2, 64).astype(np.uint8)
+        assert (WIFI_CODE.encode(a ^ b) == (WIFI_CODE.encode(a) ^ WIFI_CODE.encode(b))).all()
+
+    def test_rejects_invalid_polynomial(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(constraint_length=3, polynomials=(0o17, 0o5))
+
+    def test_custom_code_trellis_shapes(self):
+        code = ConvolutionalCode(constraint_length=3, polynomials=(0o7, 0o5))
+        assert code.num_states == 4
+        assert code.trellis_outputs().shape == (4, 2, 2)
+        assert code.next_states().shape == (4, 2)
+
+
+class TestViterbiHard:
+    def test_noiseless_roundtrip(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 200).astype(np.uint8)
+        assert (viterbi_decode(WIFI_CODE.encode(bits), WIFI_CODE) == bits).all()
+
+    @pytest.mark.parametrize("num_errors", [1, 2, 3])
+    def test_corrects_scattered_errors(self, num_errors):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 120).astype(np.uint8)
+        coded = WIFI_CODE.encode(bits)
+        corrupted = coded.copy()
+        # Spread the errors far apart so they are independently correctable.
+        positions = np.linspace(5, coded.size - 5, num_errors).astype(int)
+        corrupted[positions] ^= 1
+        assert (viterbi_decode(corrupted, WIFI_CODE) == bits).all()
+
+    def test_finds_maximum_likelihood_sequence(self):
+        """Against brute force over all short messages: the decoded
+        codeword must be at minimal Hamming distance from the observation."""
+        code = ConvolutionalCode(constraint_length=3, polynomials=(0o7, 0o5))
+        rng = np.random.default_rng(3)
+        k = 6
+        messages = [np.array([(m >> i) & 1 for i in range(k)], dtype=np.uint8)
+                    for m in range(2 ** k)]
+        codewords = [code.encode(m) for m in messages]
+        for _ in range(20):
+            observed = rng.integers(0, 2, codewords[0].size).astype(np.uint8)
+            decoded = viterbi_decode(observed, code)
+            decoded_word = code.encode(decoded)
+            best = min(int((observed != w).sum()) for w in codewords)
+            assert int((observed != decoded_word).sum()) == best
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            viterbi_decode(np.zeros(13, dtype=np.uint8), WIFI_CODE)
+
+    def test_rejects_too_short_block(self):
+        with pytest.raises(ValueError):
+            viterbi_decode(np.zeros(8, dtype=np.uint8), WIFI_CODE)
+
+    @settings(max_examples=20, deadline=None)
+    @given(bit_lists)
+    def test_roundtrip_property(self, bits):
+        array = np.asarray(bits, dtype=np.uint8)
+        assert (viterbi_decode(WIFI_CODE.encode(array), WIFI_CODE) == array).all()
+
+
+class TestViterbiSoft:
+    def test_soft_equals_hard_for_unit_reliabilities(self):
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, 80).astype(np.uint8)
+        coded = WIFI_CODE.encode(bits)
+        coded[10] ^= 1
+        reliabilities = 1.0 - 2.0 * coded.astype(float)
+        assert (viterbi_decode_soft(reliabilities, WIFI_CODE)
+                == viterbi_decode(coded, WIFI_CODE)).all()
+
+    def test_low_confidence_errors_are_ignored(self):
+        """Bits flipped with tiny reliability should not drag the decision."""
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, 100).astype(np.uint8)
+        coded = WIFI_CODE.encode(bits).astype(float)
+        reliabilities = 1.0 - 2.0 * coded
+        flip = rng.choice(reliabilities.size, size=20, replace=False)
+        reliabilities[flip] *= -0.01  # wrong sign, almost no confidence
+        assert (viterbi_decode_soft(reliabilities, WIFI_CODE) == bits).all()
+
+    def test_soft_beats_hard_at_equal_error_count(self):
+        """With reliability information, soft decoding recovers a pattern
+        hard decoding cannot."""
+        code = WIFI_CODE
+        rng = np.random.default_rng(6)
+        soft_wins = 0
+        trials = 20
+        for _ in range(trials):
+            bits = rng.integers(0, 2, 60).astype(np.uint8)
+            coded = code.encode(bits)
+            reliabilities = 1.0 - 2.0 * coded.astype(float)
+            # Flip a burst of 6 adjacent bits but mark them unreliable.
+            start = int(rng.integers(0, reliabilities.size - 6))
+            reliabilities[start:start + 6] *= -0.05
+            hard_in = (reliabilities < 0).astype(np.uint8)
+            soft_ok = (viterbi_decode_soft(reliabilities, code) == bits).all()
+            hard_ok = (viterbi_decode(hard_in, code) == bits).all()
+            soft_wins += int(soft_ok and not hard_ok)
+            assert soft_ok
+        assert soft_wins > 0
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            viterbi_decode_soft(np.array([np.inf] * 14), WIFI_CODE)
+
+
+class TestInterleaver:
+    @pytest.mark.parametrize("n_bpsc", [2, 4, 6, 8])
+    def test_roundtrip(self, n_bpsc):
+        n_cbps = 48 * n_bpsc
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, 3 * n_cbps).astype(np.uint8)
+        assert (deinterleave(interleave(bits, n_cbps, n_bpsc), n_cbps, n_bpsc)
+                == bits).all()
+
+    def test_permutation_is_bijective(self):
+        perm = interleaver_permutation(192, 4)
+        assert sorted(perm.tolist()) == list(range(192))
+
+    def test_adjacent_bits_are_spread(self):
+        """Consecutive coded bits must land at least 10 positions apart."""
+        perm = interleaver_permutation(96, 2)
+        gaps = np.abs(np.diff(perm))
+        assert gaps.min() >= 3
+        assert np.median(gaps) >= 6
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros(100, dtype=np.uint8), 96, 2)
+
+    def test_rejects_non_multiple_of_16(self):
+        with pytest.raises(ValueError):
+            interleaver_permutation(50, 2)
+
+
+class TestScrambler:
+    def test_involution(self):
+        rng = np.random.default_rng(8)
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        assert (descramble(scramble(bits)) == bits).all()
+
+    def test_sequence_period_127(self):
+        sequence = scrambler_sequence(254)
+        assert (sequence[:127] == sequence[127:]).all()
+        assert sequence[:127].sum() == 64  # balanced m-sequence: 64 ones
+
+    def test_whitens_constant_input(self):
+        zeros = np.zeros(1000, dtype=np.uint8)
+        scrambled = scramble(zeros)
+        assert 0.4 < scrambled.mean() < 0.6
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ValueError):
+            scramble(np.zeros(8, dtype=np.uint8), seed=0)
+
+
+class TestCrc:
+    def test_detects_single_bit_flip(self):
+        rng = np.random.default_rng(9)
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        framed = append_crc(bits)
+        assert check_crc(framed)
+        for position in (0, 150, framed.size - 1):
+            corrupted = framed.copy()
+            corrupted[position] ^= 1
+            assert not check_crc(corrupted)
+
+    def test_detects_burst_errors(self):
+        bits = np.ones(128, dtype=np.uint8)
+        framed = append_crc(bits)
+        corrupted = framed.copy()
+        corrupted[40:72] ^= 1
+        assert not check_crc(corrupted)
+
+    def test_known_vector(self):
+        """MSB-first CRC-32 (the CRC-32/BZIP2 variant: init all-ones,
+        final complement, no reflection) of ASCII '123456789' is
+        0xFC891918."""
+        data = np.unpackbits(np.frombuffer(b"123456789", dtype=np.uint8))
+        crc = crc32_bits(data)
+        value = int("".join(str(b) for b in crc), 2)
+        assert value == 0xFC891918
+
+    def test_non_byte_aligned_payload(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0], dtype=np.uint8)
+        assert check_crc(append_crc(bits))
+
+    def test_too_short_stream_fails(self):
+        assert not check_crc(np.zeros(10, dtype=np.uint8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(bit_lists)
+    def test_append_check_property(self, bits):
+        assert check_crc(append_crc(np.asarray(bits, dtype=np.uint8)))

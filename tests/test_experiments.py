@@ -1,0 +1,217 @@
+"""Tests for the experiment drivers (tiny workloads, shape assertions)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablation_enumeration,
+    ablation_pruning,
+    fig09_conditioning,
+    fig10_degradation,
+    fig11_throughput,
+    fig12_scaling,
+    fig13_mmse_sic,
+    fig14_complexity_testbed,
+    fig15_complexity_sim,
+    table1_summary,
+)
+from repro.experiments.common import (
+    QUICK,
+    Scale,
+    filter_trace_links,
+    format_table,
+    fraction_above,
+    get_scale,
+    make_detector,
+)
+from repro.experiments.common import testbed_trace as load_testbed_trace
+from repro.constellation import qam
+
+# Tiny scale for tests: reuses the cached 20-link traces but runs minimal
+# frame/vector counts.
+TINY = Scale(name="tiny", num_links=20, num_frames=2, payload_bits=184,
+             num_vectors=40)
+
+
+class TestCommon:
+    def test_get_scale_resolution(self):
+        assert get_scale("quick") is QUICK
+        assert get_scale(TINY) is TINY
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_fraction_above(self):
+        assert fraction_above([1.0, 5.0, 20.0, np.inf], 10.0) == pytest.approx(0.5)
+        assert np.isnan(fraction_above([], 1.0))
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long header"], [["x", "1"], ["yy", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_make_detector_kinds(self):
+        constellation = qam(16)
+        for kind in ("zf", "mmse", "mmse-sic", "geosphere",
+                     "geosphere-zigzag", "eth-sd", "shabany"):
+            detector = make_detector(kind, constellation)
+            assert hasattr(detector, "detect")
+        with pytest.raises(ValueError):
+            make_detector("magic", constellation)
+
+    def test_filter_trace_links_keeps_good_links(self):
+        trace = load_testbed_trace(4, 4, TINY)
+        filtered = filter_trace_links(trace, max_median_lambda_db=20.0)
+        assert 1 <= filtered.num_links <= trace.num_links
+        filtered_lambdas = filtered.worst_degradations_db()
+        all_lambdas = trace.worst_degradations_db()
+        assert np.median(filtered_lambdas) <= np.median(all_lambdas)
+
+    def test_filter_trace_links_degenerate_threshold(self):
+        trace = load_testbed_trace(4, 4, TINY)
+        filtered = filter_trace_links(trace, max_median_lambda_db=-100.0)
+        assert filtered.num_links == 1  # fallback keeps the best link
+
+
+class TestConditioningFigures:
+    def test_fig9_shapes_and_anchor(self):
+        result = fig09_conditioning.run(TINY)
+        assert set(result.values_db) == {(2, 2), (2, 4), (3, 4), (4, 4)}
+        # 4x4 worse-conditioned than 2x4 everywhere that matters.
+        assert (result.fraction_above_10db((4, 4))
+                > result.fraction_above_10db((2, 4)))
+        assert "Figure 9" in fig09_conditioning.render(result)
+
+    def test_fig10_shapes_and_anchor(self):
+        result = fig10_degradation.run(TINY)
+        assert (result.fraction_above_5db((4, 4))
+                > result.fraction_above_5db((2, 4)))
+        assert result.median_db((2, 4)) < 3.0
+        assert "Figure 10" in fig10_degradation.render(result)
+
+
+class TestThroughputFigures:
+    def test_fig11_reduced_grid(self):
+        result = fig11_throughput.run(TINY, cases=((4, 4),), snrs_db=(20.0,))
+        geo = result.throughput((4, 4), 20.0, "geosphere")
+        zf = result.throughput((4, 4), 20.0, "zf")
+        assert geo >= zf  # ML never loses to ZF on the same workload
+        assert result.gain((4, 4), 20.0) >= 1.0
+        assert "Figure 11" in fig11_throughput.render(result)
+
+    def test_fig11_unknown_point_raises(self):
+        result = fig11_throughput.run(TINY, cases=((2, 2),), snrs_db=(15.0,))
+        with pytest.raises(KeyError):
+            result.throughput((9, 9), 15.0, "zf")
+
+    def test_fig12_reduced(self):
+        result = fig12_scaling.run(TINY, client_counts=(1, 4))
+        assert result.scaling_ratio("geosphere") >= result.scaling_ratio("zf")
+        assert "Figure 12" in fig12_scaling.render(result)
+
+    def test_fig13_reduced(self):
+        result = fig13_mmse_sic.run(TINY, client_counts=(2, 10))
+        geo = result.throughput("geosphere", 10)
+        zf = result.throughput("zf", 10)
+        sic = result.throughput("mmse-sic", 10)
+        assert geo >= sic >= zf * 0.9  # ordering holds (with slack)
+        assert geo > zf
+        assert "Figure 13" in fig13_mmse_sic.render(result)
+
+
+class TestComplexityFigures:
+    def test_fig14_reduced(self):
+        result = fig14_complexity_testbed.run(
+            TINY, cases=((2, 4),), snrs_db=(20.0, 25.0))
+        for snr in (20.0, 25.0):
+            assert result.savings((2, 4), snr) > 0.0
+        assert "Figure 14" in fig14_complexity_testbed.render(result)
+
+    def test_fig15_reduced(self):
+        result = fig15_complexity_sim.run(
+            TINY, cases=((2, 4),), sources=("rayleigh",), orders=(16, 256))
+        # ETH-SD grows with constellation size; Geosphere stays flat-ish.
+        eth_16 = result.ped_calcs[((2, 4), "rayleigh", 16, "eth-sd")]
+        eth_256 = result.ped_calcs[((2, 4), "rayleigh", 256, "eth-sd")]
+        geo_16 = result.ped_calcs[((2, 4), "rayleigh", 16, "geosphere")]
+        geo_256 = result.ped_calcs[((2, 4), "rayleigh", 256, "geosphere")]
+        assert eth_256 > 2.0 * eth_16
+        assert geo_256 < 2.0 * geo_16
+        assert result.savings_vs_eth((2, 4), "rayleigh", 256) > 0.6
+        # Pruning can only remove PED calculations on identical workloads.
+        assert result.pruning_gain((2, 4), "rayleigh", 16) >= 0.0
+        assert result.pruning_gain((2, 4), "rayleigh", 256) >= 0.0
+        assert "Figure 15" in fig15_complexity_sim.render(result)
+
+    def test_fig15_visited_nodes_identical(self):
+        result = fig15_complexity_sim.run(
+            TINY, cases=((2, 4),), sources=("rayleigh",), orders=(64,))
+        visited = [result.visited[((2, 4), "rayleigh", 64, decoder)]
+                   for decoder in ("eth-sd", "geosphere-zigzag", "geosphere")]
+        assert visited[0] == pytest.approx(visited[1])
+        assert visited[1] == pytest.approx(visited[2])
+
+
+class TestAblations:
+    def test_pruning_gains_grow_with_snr(self):
+        result = ablation_pruning.run(TINY, cases=((2, 4),), orders=(64,),
+                                      targets=(0.10, 0.01))
+        assert result.savings((2, 4), 64, 0.01) > 0.0
+        assert result.savings((2, 4), 64, 0.10) > 0.0
+        assert (result.savings((2, 4), 64, 0.01)
+                >= result.savings((2, 4), 64, 0.10) - 0.05)
+        assert "pruning" in ablation_pruning.render(result).lower()
+
+    def test_enumeration_costs(self):
+        result = ablation_enumeration.run(TINY, orders=(16,))
+        # Geosphere <= Shabany <= ETH-SD for the first three children.
+        for k in (1, 2, 3):
+            geo = result.mean_ped[("geosphere", 16, k)]
+            shabany = result.mean_ped[("shabany", 16, k)]
+            eth = result.mean_ped[("eth-sd", 16, k)]
+            assert geo <= shabany + 1e-9
+            assert shabany <= eth + 1e-9
+        assert result.mean_ped[("exhaustive", 16, 1)] == pytest.approx(16.0)
+        assert "Ablation" in ablation_enumeration.render(result)
+
+
+class TestTable1:
+    def test_summary_contains_three_rows(self):
+        result = table1_summary.run(TINY)
+        rows = result.rows()
+        assert len(rows) == 3
+        assert result.share_4x4_poorly_conditioned > 0.8
+        assert result.complexity_savings_256qam > 0.5
+        rendered = table1_summary.render(result)
+        assert "Table 1" in rendered
+
+
+class TestNewAblations:
+    def test_hybrid_ablation(self):
+        from repro.experiments import ablation_hybrid
+        result = ablation_hybrid.run(TINY)
+        assert result.throughput_mbps["hybrid"] <= (
+            result.throughput_mbps["geosphere"] * 1.01)
+        assert 0.0 <= result.hybrid_sphere_fraction <= 1.0
+        assert "hybrid" in ablation_hybrid.render(result)
+
+    def test_breadth_first_ablation(self):
+        from repro.experiments import ablation_breadth_first
+        result = ablation_breadth_first.run(TINY)
+        assert result.error_rate("k-best (K=1)") >= result.error_rate("geosphere")
+        assert result.ped("k-best (K=16)") > result.ped("geosphere")
+        assert "breadth-first" in ablation_breadth_first.render(result)
+
+    def test_soft_ablation(self):
+        from repro.experiments import ablation_soft
+        result = ablation_soft.run(TINY, snrs_db=(11.0,))
+        assert result.success[(11.0, "soft")] >= result.success[(11.0, "hard")]
+        assert result.ped[(11.0, "soft")] > result.ped[(11.0, "hard")]
+        assert "soft" in ablation_soft.render(result)
+
+    def test_selection_ablation(self):
+        from repro.experiments import ablation_selection
+        result = ablation_selection.run(TINY)
+        assert result.gain("selected") >= 0.99
+        assert result.gain("random") >= 0.99
+        assert "selection" in ablation_selection.render(result)

@@ -1,0 +1,107 @@
+"""Tests for the geometric pruning lower bound (paper section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import awgn, noise_variance_for_snr, rayleigh_channel
+from repro.constellation import qam
+from repro.sphere import (
+    GeometricPruner,
+    geosphere_decoder,
+    geosphere_zigzag_only,
+    lower_bound_sq_table,
+)
+
+ORDERS = [4, 16, 64, 256]
+
+
+class TestLowerBoundTable:
+    def test_matches_paper_equation_nine(self):
+        """Paper lattice (points two units apart => scale 1):
+        c^ = sqrt((2 dI - 1)^2 + (2 dQ - 1)^2)."""
+        table = lower_bound_sq_table(4, scale=1.0)
+        assert table[2, 2] == pytest.approx((2 * 2 - 1) ** 2 + (2 * 2 - 1) ** 2)
+        assert table[1, 3] == pytest.approx(1 + 25)
+
+    def test_zero_offset_contributes_nothing(self):
+        table = lower_bound_sq_table(8, scale=1.0)
+        assert table[0, 0] == 0.0
+        assert table[0, 3] == pytest.approx(25.0)
+        assert table[3, 0] == pytest.approx(25.0)
+
+    def test_scales_with_half_spacing(self):
+        unit = lower_bound_sq_table(4, scale=1.0)
+        scaled = lower_bound_sq_table(4, scale=0.5)
+        assert np.allclose(scaled, unit * 0.25)
+
+    def test_monotone_in_both_offsets(self):
+        table = lower_bound_sq_table(16, scale=1.0)
+        assert (np.diff(table, axis=0) >= 0).all()
+        assert (np.diff(table, axis=1) >= 0).all()
+
+
+@pytest.mark.parametrize("order", ORDERS)
+class TestBoundSafety:
+    def test_bound_never_exceeds_exact_distance(self, order):
+        """For any received point inside the sliced cell and any candidate,
+        the table bound is a true lower bound on the exact distance."""
+        constellation = qam(order)
+        pruner = GeometricPruner(constellation)
+        rng = np.random.default_rng(order)
+        for _ in range(50):
+            received = complex(rng.uniform(-1.4, 1.4), rng.uniform(-1.4, 1.4))
+            col0, row0 = constellation.slice_col_row(received)
+            col = int(rng.integers(0, constellation.side))
+            row = int(rng.integers(0, constellation.side))
+            exact = abs(constellation.point(col, row) - received) ** 2
+            bound = pruner.lower_bound_sq(abs(col - col0), abs(row - row0))
+            assert bound <= exact + 1e-12
+
+    def test_should_prune_respects_budget(self, order):
+        pruner = GeometricPruner(qam(order))
+        assert not pruner.should_prune(0, 0, budget_sq=1e-6)
+        side = qam(order).side
+        if side >= 4:
+            big = pruner.lower_bound_sq(side - 1, side - 1)
+            assert pruner.should_prune(side - 1, side - 1, budget_sq=big * 0.5)
+
+
+class TestPruningPreservesML:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000),
+           order=st.sampled_from([16, 64]),
+           snr_db=st.floats(min_value=0.0, max_value=35.0))
+    def test_same_solution_with_and_without_pruning(self, seed, order, snr_db):
+        constellation = qam(order)
+        rng = np.random.default_rng(seed)
+        channel = rayleigh_channel(3, 3, rng)
+        sent = rng.integers(0, order, size=3)
+        noise_variance = noise_variance_for_snr(channel, snr_db)
+        y = channel @ constellation.points[sent] + awgn(3, noise_variance, rng)
+        pruned = geosphere_decoder(constellation).decode(channel, y)
+        plain = geosphere_zigzag_only(constellation).decode(channel, y)
+        assert (pruned.symbol_indices == plain.symbol_indices).all()
+        assert pruned.distance_sq == pytest.approx(plain.distance_sq)
+        assert pruned.counters.visited_nodes == plain.counters.visited_nodes
+
+    def test_pruning_saves_work_at_high_snr(self):
+        """Section 5.3 discussion: at high SNR geometric pruning prunes the
+        rest of the tree 'without any additional calculation'."""
+        constellation = qam(64)
+        full = geosphere_decoder(constellation)
+        plain = geosphere_zigzag_only(constellation)
+        saved = 0
+        total_plain = 0
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            channel = rayleigh_channel(4, 4, rng)
+            sent = rng.integers(0, 64, size=4)
+            noise_variance = noise_variance_for_snr(channel, 38.0)
+            y = channel @ constellation.points[sent] + awgn(4, noise_variance, rng)
+            with_pruning = full.decode(channel, y).counters.ped_calcs
+            without = plain.decode(channel, y).counters.ped_calcs
+            saved += without - with_pruning
+            total_plain += without
+        assert saved > 0.2 * total_plain  # >20% of PED calcs eliminated

@@ -1,0 +1,67 @@
+"""Unit and property tests for Gray coding helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constellation import bits_to_int, gray_decode, gray_encode, int_to_bits
+from repro.constellation.gray import gray_code_table
+
+
+class TestGrayEncode:
+    def test_first_eight_codewords(self):
+        expected = [0, 1, 3, 2, 6, 7, 5, 4]
+        assert list(gray_encode(np.arange(8))) == expected
+
+    def test_scalar_input(self):
+        assert int(gray_encode(5)) == 7
+
+    def test_adjacent_codewords_differ_in_one_bit(self):
+        codes = gray_encode(np.arange(256))
+        diffs = codes[1:] ^ codes[:-1]
+        popcounts = np.array([bin(int(d)).count("1") for d in diffs])
+        assert (popcounts == 1).all()
+
+    def test_encode_is_a_permutation(self):
+        codes = gray_encode(np.arange(64))
+        assert sorted(codes.tolist()) == list(range(64))
+
+
+class TestGrayDecode:
+    def test_roundtrip_array(self):
+        values = np.arange(1024)
+        assert (gray_decode(gray_encode(values)) == values).all()
+
+    def test_roundtrip_scalar(self):
+        for value in (0, 1, 7, 200, 255):
+            assert int(gray_decode(gray_encode(value))) == value
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_roundtrip_property(self, value):
+        assert int(gray_decode(gray_encode(value))) == value
+
+
+class TestGrayTable:
+    def test_table_matches_encode(self):
+        table = gray_code_table(4)
+        assert (table == gray_encode(np.arange(16))).all()
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            gray_code_table(0)
+
+
+class TestBitPacking:
+    def test_int_to_bits_msb_first(self):
+        assert list(int_to_bits(6, 4).reshape(-1)) == [0, 1, 1, 0]
+
+    def test_bits_to_int_inverse(self):
+        values = np.arange(32)
+        bits = int_to_bits(values, 5)
+        assert (bits_to_int(bits) == values).all()
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=32))
+    def test_pack_unpack_property(self, values):
+        array = np.asarray(values)
+        assert (bits_to_int(int_to_bits(array, 8)) == array).all()

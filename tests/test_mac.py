@@ -1,0 +1,121 @@
+"""Tests for user selection and TDMA scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.channel import condition_number, rayleigh_channel
+from repro.mac import (
+    TdmaSchedule,
+    round_robin_groups,
+    select_best_conditioned,
+    select_users_in_snr_range,
+    select_users_random,
+)
+
+
+class TestSnrRangeSelection:
+    def test_window_membership(self):
+        snrs = np.array([10.0, 14.0, 19.0, 21.0, 25.0, 31.0])
+        chosen = select_users_in_snr_range(snrs, target_db=20.0, window_db=5.0)
+        assert list(chosen) == [2, 3, 4]
+
+    def test_paper_ranges(self):
+        """15/20/25 +-5 dB: each range keeps its own users."""
+        snrs = np.array([12.0, 17.0, 22.0, 27.0])
+        assert list(select_users_in_snr_range(snrs, 15.0)) == [0, 1]
+        assert list(select_users_in_snr_range(snrs, 25.0)) == [2, 3]
+
+    def test_empty_selection_possible(self):
+        assert select_users_in_snr_range([0.0], 30.0, 5.0).size == 0
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError):
+            select_users_in_snr_range([10.0], 10.0, -1.0)
+
+
+class TestRandomSelection:
+    def test_size_and_uniqueness(self):
+        chosen = select_users_random(10, 4, rng=0)
+        assert chosen.size == 4
+        assert np.unique(chosen).size == 4
+
+    def test_deterministic_given_seed(self):
+        assert (select_users_random(10, 3, rng=1)
+                == select_users_random(10, 3, rng=1)).all()
+
+    def test_rejects_overdraw(self):
+        with pytest.raises(ValueError):
+            select_users_random(3, 4)
+
+
+class TestConditionAwareSelection:
+    def test_selects_requested_count(self):
+        channel = rayleigh_channel(4, 8, rng=0)
+        chosen = select_best_conditioned(channel, 3)
+        assert chosen.size == 3
+
+    def test_beats_random_selection_on_average(self):
+        rng = np.random.default_rng(1)
+        greedy_kappas, random_kappas = [], []
+        for seed in range(30):
+            channel = rayleigh_channel(4, 8, rng=seed)
+            greedy = select_best_conditioned(channel, 3)
+            random = select_users_random(8, 3, rng=rng)
+            greedy_kappas.append(condition_number(channel[:, greedy]))
+            random_kappas.append(condition_number(channel[:, random]))
+        assert np.median(greedy_kappas) < np.median(random_kappas)
+
+    def test_single_user_is_strongest(self):
+        channel = rayleigh_channel(4, 5, rng=2)
+        chosen = select_best_conditioned(channel, 1)
+        energies = np.sum(np.abs(channel) ** 2, axis=0)
+        assert chosen[0] == int(np.argmax(energies))
+
+
+class TestRoundRobin:
+    def test_full_group_is_single_slot(self):
+        assert round_robin_groups(4, 4) == [(0, 1, 2, 3)]
+
+    def test_rotation_covers_all_clients_fairly(self):
+        groups = round_robin_groups(4, 3)
+        assert len(groups) == 4
+        counts = np.zeros(4, dtype=int)
+        for group in groups:
+            assert len(group) == 3
+            for client in group:
+                counts[client] += 1
+        assert (counts == 3).all()
+
+    def test_rejects_oversized_group(self):
+        with pytest.raises(ValueError):
+            round_robin_groups(2, 3)
+
+
+class TestTdmaSchedule:
+    def test_airtime_share(self):
+        schedule = TdmaSchedule(round_robin_groups(4, 3))
+        for client in range(4):
+            assert schedule.client_airtime_share(client) == pytest.approx(0.75)
+
+    def test_network_throughput_is_slot_average(self):
+        schedule = TdmaSchedule([(0, 1), (2, 3)])
+        throughput = schedule.network_throughput_bps(
+            lambda group: 10.0 if 0 in group else 30.0)
+        assert throughput == pytest.approx(20.0)
+
+    def test_per_client_split(self):
+        schedule = TdmaSchedule(round_robin_groups(3, 2))
+        per_client = schedule.per_client_throughput_bps(lambda group: 12.0, 3)
+        # 3 slots, each client in 2 of them, 6 Mbps per appearance.
+        assert np.allclose(per_client, 2 * 6.0 / 3)
+
+    def test_fewer_clients_per_slot_can_lose(self):
+        """The Fig. 11 argument: even if smaller groups get a per-slot
+        boost, the idle clients' airtime loss can dominate."""
+        full = TdmaSchedule(round_robin_groups(4, 4))
+        reduced = TdmaSchedule(round_robin_groups(4, 3))
+        # Full group achieves 80; any 3-subset achieves 66 (a 10% per-slot
+        # boost per client does not compensate the lost stream).
+        full_throughput = full.network_throughput_bps(lambda g: 80.0)
+        reduced_throughput = reduced.network_throughput_bps(lambda g: 66.0)
+        assert full_throughput > reduced_throughput

@@ -1,0 +1,73 @@
+"""Tests for AWGN generation and SNR bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    average_stream_snr_db,
+    awgn,
+    db_to_linear,
+    linear_to_db,
+    noise_variance_for_snr,
+    rayleigh_channel,
+    stream_snrs,
+)
+
+
+class TestDbConversion:
+    def test_roundtrip(self):
+        assert linear_to_db(db_to_linear(17.3)) == pytest.approx(17.3)
+
+    def test_known_values(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert float(linear_to_db(100.0)) == pytest.approx(20.0)
+
+    def test_rejects_non_positive_linear(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+
+class TestAwgn:
+    def test_variance_matches_request(self):
+        samples = awgn(200_000, variance=3.0, rng=0)
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(3.0, rel=0.02)
+
+    def test_split_between_real_and_imag(self):
+        samples = awgn(200_000, variance=2.0, rng=1)
+        assert np.var(samples.real) == pytest.approx(1.0, rel=0.02)
+        assert np.var(samples.imag) == pytest.approx(1.0, rel=0.02)
+
+    def test_zero_variance_gives_zeros(self):
+        assert (awgn((4, 4), variance=0.0, rng=2) == 0).all()
+
+    def test_shape(self):
+        assert awgn((3, 5), variance=1.0, rng=3).shape == (3, 5)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError):
+            awgn(4, variance=-1.0)
+
+    def test_deterministic_given_seed(self):
+        assert (awgn(8, 1.0, rng=7) == awgn(8, 1.0, rng=7)).all()
+
+
+class TestSnrCalibration:
+    def test_noise_variance_hits_target_snr(self):
+        channel = rayleigh_channel(4, 4, rng=0)
+        for target in (5.0, 15.0, 25.0):
+            variance = noise_variance_for_snr(channel, target)
+            assert average_stream_snr_db(channel, variance) == pytest.approx(target)
+
+    def test_stream_snrs_formula(self):
+        channel = np.array([[1.0, 0.0], [0.0, 2.0]], dtype=complex)
+        snrs = stream_snrs(channel, noise_variance=0.5)
+        assert snrs == pytest.approx([2.0, 8.0])
+
+    def test_rejects_zero_channel(self):
+        with pytest.raises(ValueError):
+            noise_variance_for_snr(np.zeros((2, 2), dtype=complex), 10.0)
+
+    def test_rejects_non_positive_noise(self):
+        channel = rayleigh_channel(2, 2, rng=0)
+        with pytest.raises(ValueError):
+            stream_snrs(channel, noise_variance=0.0)

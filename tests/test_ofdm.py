@@ -1,0 +1,166 @@
+"""Tests for the OFDM substrate: numerology, modem, estimation."""
+
+import numpy as np
+import pytest
+
+from repro.channel import awgn
+from repro.constellation import qam
+from repro.ofdm import (
+    WIFI_20MHZ,
+    OfdmParams,
+    apply_multipath,
+    demodulate,
+    estimate_channel,
+    estimation_error,
+    frequency_response,
+    modulate,
+    training_grid,
+)
+
+
+class TestParams:
+    def test_wifi_numerology(self):
+        assert WIFI_20MHZ.num_data_subcarriers == 48
+        assert WIFI_20MHZ.symbol_samples == 80
+        assert WIFI_20MHZ.symbol_duration_s == pytest.approx(4e-6)
+        assert WIFI_20MHZ.subcarrier_spacing_hz == pytest.approx(312_500.0)
+
+    def test_data_and_pilots_disjoint(self):
+        data = set(WIFI_20MHZ.data_subcarriers)
+        pilots = set(WIFI_20MHZ.pilot_subcarriers)
+        assert not data & pilots
+        assert len(data) == 48 and len(pilots) == 4
+
+    def test_bin_indices_within_fft(self):
+        assert (WIFI_20MHZ.data_bin_indices() < 64).all()
+        assert 0 not in WIFI_20MHZ.data_bin_indices()  # DC unused
+
+    def test_frequency_offsets_symmetric(self):
+        offsets = WIFI_20MHZ.data_frequency_offsets_hz()
+        assert offsets.min() == pytest.approx(-26 * 312_500.0)
+        assert offsets.max() == pytest.approx(26 * 312_500.0)
+
+    def test_rejects_overlapping_pilots(self):
+        with pytest.raises(ValueError):
+            OfdmParams(data_subcarriers=(1, 2, 7), pilot_subcarriers=(7,))
+
+    def test_rejects_long_cp(self):
+        with pytest.raises(ValueError):
+            OfdmParams(fft_size=64, cp_length=64)
+
+
+class TestModemLoopback:
+    def test_modulate_demodulate_identity(self):
+        rng = np.random.default_rng(0)
+        constellation = qam(64)
+        grid = constellation.points[rng.integers(0, 64, size=(5, 48))]
+        data, pilots = demodulate(modulate(grid, WIFI_20MHZ), WIFI_20MHZ)
+        assert np.allclose(data, grid, atol=1e-12)
+        assert np.allclose(pilots, 1.0, atol=1e-12)
+
+    def test_sample_count(self):
+        grid = np.zeros((3, 48), dtype=complex)
+        assert modulate(grid, WIFI_20MHZ).size == 3 * 80
+
+    def test_rejects_wrong_subcarrier_count(self):
+        with pytest.raises(ValueError):
+            modulate(np.zeros((2, 52), dtype=complex), WIFI_20MHZ)
+
+    def test_rejects_partial_symbol_stream(self):
+        with pytest.raises(ValueError):
+            demodulate(np.zeros(81, dtype=complex), WIFI_20MHZ)
+
+
+class TestMultipath:
+    def make_taps(self, num_rx, num_tx, num_taps, seed=0):
+        rng = np.random.default_rng(seed)
+        taps = (rng.standard_normal((num_rx, num_tx, num_taps))
+                + 1j * rng.standard_normal((num_rx, num_tx, num_taps)))
+        # Exponentially decaying power-delay profile.
+        taps *= np.exp(-0.5 * np.arange(num_taps))[None, None, :]
+        return taps
+
+    def test_single_tap_is_flat_scaling(self):
+        rng = np.random.default_rng(1)
+        grid = qam(16).points[rng.integers(0, 16, size=(4, 48))]
+        samples = modulate(grid, WIFI_20MHZ)
+        taps = np.array([[[0.5 - 0.25j]]])
+        received = apply_multipath(samples[None, :], taps)
+        data, _ = demodulate(received[0], WIFI_20MHZ)
+        assert np.allclose(data, grid * (0.5 - 0.25j), atol=1e-12)
+
+    def test_cp_turns_multipath_into_per_subcarrier_gains(self):
+        """The core OFDM property: after CP removal, each subcarrier sees
+        exactly the channel's frequency response at its bin."""
+        rng = np.random.default_rng(2)
+        grid = qam(16).points[rng.integers(0, 16, size=(6, 48))]
+        samples = modulate(grid, WIFI_20MHZ)
+        taps = self.make_taps(1, 1, num_taps=8)
+        received = apply_multipath(samples[None, :], taps)
+        data, _ = demodulate(received[0], WIFI_20MHZ)
+        gains = frequency_response(taps, WIFI_20MHZ)[:, 0, 0]
+        # First symbol suffers the convolution transient; check the rest.
+        assert np.allclose(data[1:], grid[1:] * gains[None, :], atol=1e-9)
+
+    def test_mimo_multipath_matches_frequency_response(self):
+        rng = np.random.default_rng(3)
+        num_tx, num_rx = 2, 3
+        grids = qam(4).points[rng.integers(0, 4, size=(num_tx, 5, 48))]
+        streams = np.stack([modulate(grids[t], WIFI_20MHZ) for t in range(num_tx)])
+        taps = self.make_taps(num_rx, num_tx, num_taps=6)
+        received = apply_multipath(streams, taps)
+        channels = frequency_response(taps, WIFI_20MHZ)  # (48, rx, tx)
+        for symbol in range(1, 5):
+            rx_grids = np.stack(
+                [demodulate(received[r], WIFI_20MHZ)[0][symbol] for r in range(num_rx)],
+                axis=1)  # (48, rx)
+            sent = grids[:, symbol, :].T  # (48, tx)
+            for s in range(48):
+                assert np.allclose(rx_grids[s], channels[s] @ sent[s], atol=1e-9)
+
+    def test_delay_spread_beyond_cp_rejected_by_frequency_response(self):
+        taps = self.make_taps(1, 1, num_taps=20)
+        with pytest.raises(ValueError):
+            frequency_response(taps, WIFI_20MHZ)
+
+    def test_rejects_mismatched_stream_count(self):
+        with pytest.raises(ValueError):
+            apply_multipath(np.zeros((3, 80), dtype=complex),
+                            np.zeros((2, 2, 4), dtype=complex))
+
+
+class TestEstimation:
+    def test_recovers_true_channel_noiselessly(self):
+        rng = np.random.default_rng(4)
+        num_clients, num_rx = 3, 4
+        taps = (rng.standard_normal((num_rx, num_clients, 5))
+                + 1j * rng.standard_normal((num_rx, num_clients, 5)))
+        true = frequency_response(taps, WIFI_20MHZ)  # (48, rx, tx)
+        training = training_grid(WIFI_20MHZ, rng=5)
+        received = np.empty((num_clients, 48, num_rx), dtype=complex)
+        for client in range(num_clients):
+            for s in range(48):
+                received[client, s] = true[s][:, client] * training[s]
+        estimate = estimate_channel(received, training)
+        assert estimation_error(estimate, true) < 1e-20
+
+    def test_noise_floor_scales_estimation_error(self):
+        rng = np.random.default_rng(6)
+        true = (rng.standard_normal((48, 4, 2))
+                + 1j * rng.standard_normal((48, 4, 2)))
+        training = training_grid(WIFI_20MHZ, rng=7)
+        received = np.empty((2, 48, 4), dtype=complex)
+        for client in range(2):
+            for s in range(48):
+                received[client, s] = true[s][:, client] * training[s]
+        noisy = received + awgn(received.shape, 0.01, rng=8)
+        error = estimation_error(estimate_channel(noisy, training), true)
+        assert 0 < error < 0.05
+
+    def test_training_symbols_unit_magnitude(self):
+        training = training_grid(WIFI_20MHZ, rng=9)
+        assert np.allclose(np.abs(training), 1.0)
+
+    def test_rejects_zero_training(self):
+        with pytest.raises(ValueError):
+            estimate_channel(np.zeros((1, 48, 2)), np.zeros(48))

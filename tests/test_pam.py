@@ -1,0 +1,89 @@
+"""Unit and property tests for the PAM axis helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constellation import pam_levels, slice_to_index, zigzag_indices, zigzag_order
+
+
+class TestPamLevels:
+    def test_unit_scale_levels_are_odd_integers(self):
+        assert list(pam_levels(4)) == [-3.0, -1.0, 1.0, 3.0]
+
+    def test_levels_spacing_is_twice_scale(self):
+        levels = pam_levels(8, scale=0.5)
+        assert np.allclose(np.diff(levels), 1.0)
+
+    def test_levels_are_symmetric(self):
+        levels = pam_levels(16, scale=0.3)
+        assert np.allclose(levels, -levels[::-1])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            pam_levels(3)
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            pam_levels(4, scale=0.0)
+
+
+class TestSlicing:
+    def test_exact_levels_slice_to_themselves(self):
+        levels = pam_levels(8)
+        for k, level in enumerate(levels):
+            assert slice_to_index(level, 8) == k
+
+    def test_out_of_range_clips_to_edges(self):
+        assert slice_to_index(-100.0, 4) == 0
+        assert slice_to_index(+100.0, 4) == 3
+
+    def test_vectorised_slicing(self):
+        values = np.array([-3.2, -0.4, 0.4, 2.9])
+        assert list(slice_to_index(values, 4)) == [0, 1, 2, 3]
+
+    @given(st.floats(min_value=-50, max_value=50, allow_nan=False))
+    def test_slice_is_nearest_level(self, value):
+        levels = pam_levels(8)
+        index = slice_to_index(value, 8)
+        brute = int(np.argmin(np.abs(levels - value)))
+        assert np.isclose(abs(levels[index] - value), abs(levels[brute] - value))
+
+
+class TestZigzag:
+    def test_interior_start_alternates_sides(self):
+        assert list(zigzag_indices(2, 8, prefer_positive=True)) == [2, 3, 1, 4, 0, 5, 6, 7]
+
+    def test_negative_preference_flips_order(self):
+        assert list(zigzag_indices(2, 8, prefer_positive=False)) == [2, 1, 3, 0, 4, 5, 6, 7]
+
+    def test_edge_start_marches_inward(self):
+        assert list(zigzag_indices(0, 4, prefer_positive=False)) == [0, 1, 2, 3]
+        assert list(zigzag_indices(3, 4, prefer_positive=True)) == [3, 2, 1, 0]
+
+    def test_rejects_out_of_range_start(self):
+        with pytest.raises(ValueError):
+            list(zigzag_indices(4, 4, prefer_positive=True))
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.booleans(),
+    )
+    def test_zigzag_is_permutation(self, start, prefer_positive):
+        order = list(zigzag_indices(start, 16, prefer_positive))
+        assert sorted(order) == list(range(16))
+
+    @given(st.floats(min_value=-20, max_value=20, allow_nan=False))
+    def test_zigzag_order_distances_nondecreasing(self, value):
+        levels = pam_levels(16)
+        order = zigzag_order(value, 16)
+        distances = [abs(levels[k] - value) for k in order]
+        assert all(a <= b + 1e-12 for a, b in zip(distances, distances[1:]))
+
+    @given(
+        st.integers(min_value=2, max_value=5).map(lambda k: 2 ** k),
+        st.floats(min_value=-40, max_value=40, allow_nan=False),
+    )
+    def test_zigzag_order_covers_all_levels(self, size, value):
+        assert sorted(zigzag_order(value, size)) == list(range(size))

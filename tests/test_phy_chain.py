@@ -1,0 +1,127 @@
+"""Tests for the transmit/receive chain (without a channel)."""
+
+import numpy as np
+import pytest
+
+from repro.phy import (
+    PhyConfig,
+    build_uplink_frame,
+    default_config,
+    encode_stream,
+    phy_rate_bps,
+    random_payloads,
+    recover_stream,
+    recover_uplink,
+)
+
+
+class TestTransmitChain:
+    def test_grid_shape_and_occupancy(self):
+        config = default_config(order=16, payload_bits=400)
+        payload = random_payloads(1, config, rng=0)[0]
+        frame = encode_stream(payload, config)
+        assert frame.grid.shape[1] == 48
+        assert frame.grid.shape[0] * 48 * 4 == frame.coded_bits.size
+
+    def test_symbols_are_constellation_points(self):
+        config = default_config(order=64, payload_bits=200)
+        frame = encode_stream(random_payloads(1, config, rng=1)[0], config)
+        constellation = config.constellation
+        assert np.isin(frame.symbol_indices, np.arange(64)).all()
+        assert np.allclose(constellation.points[frame.symbol_indices],
+                           frame.grid.reshape(-1))
+
+    def test_coded_length_accounts_for_crc_and_tail(self):
+        config = default_config(order=4, payload_bits=100)
+        frame = encode_stream(random_payloads(1, config, rng=2)[0], config)
+        raw_coded = 2 * (100 + 32 + 6)
+        assert frame.coded_bits.size == raw_coded + frame.num_pad_bits
+        assert frame.coded_bits.size % config.coded_bits_per_ofdm_symbol == 0
+
+    def test_uncoded_mode(self):
+        config = default_config(order=16, payload_bits=400, coded=False)
+        frame = encode_stream(random_payloads(1, config, rng=3)[0], config)
+        assert frame.coded_bits.size >= 400 + 32
+
+    def test_rejects_wrong_payload_length(self):
+        config = default_config(payload_bits=128)
+        with pytest.raises(ValueError):
+            encode_stream(np.zeros(100, dtype=np.uint8), config)
+
+    def test_uplink_frame_stacks_streams(self):
+        config = default_config(order=16, payload_bits=300)
+        frame = build_uplink_frame(random_payloads(3, config, rng=4), config)
+        assert frame.num_clients == 3
+        assert frame.symbol_tensor.shape == (frame.num_ofdm_symbols, 48, 3)
+
+
+class TestLoopback:
+    """TX -> RX with perfect detection must round-trip at every rate."""
+
+    @pytest.mark.parametrize("order", [4, 16, 64, 256])
+    def test_coded_roundtrip(self, order):
+        config = default_config(order=order, payload_bits=400)
+        payload = random_payloads(1, config, rng=order)[0]
+        frame = encode_stream(payload, config)
+        indices = frame.symbol_indices.reshape(frame.grid.shape)
+        decision = recover_stream(indices, frame.num_pad_bits, config)
+        assert decision.crc_ok
+        assert (decision.payload_bits == payload).all()
+
+    @pytest.mark.parametrize("order", [4, 64])
+    def test_uncoded_roundtrip(self, order):
+        config = default_config(order=order, payload_bits=320, coded=False)
+        payload = random_payloads(1, config, rng=5)[0]
+        frame = encode_stream(payload, config)
+        decision = recover_stream(
+            frame.symbol_indices.reshape(frame.grid.shape),
+            frame.num_pad_bits, config)
+        assert decision.crc_ok
+        assert (decision.payload_bits == payload).all()
+
+    def test_multi_stream_roundtrip(self):
+        config = default_config(order=16, payload_bits=256)
+        payloads = random_payloads(4, config, rng=6)
+        frame = build_uplink_frame(payloads, config)
+        tensor = np.stack(
+            [s.symbol_indices.reshape(s.grid.shape) for s in frame.streams],
+            axis=2)
+        decisions = recover_uplink(tensor, frame.streams[0].num_pad_bits, config)
+        for payload, decision in zip(payloads, decisions):
+            assert decision.crc_ok
+            assert (decision.payload_bits == payload).all()
+
+    def test_symbol_corruption_fails_crc(self):
+        config = default_config(order=16, payload_bits=400)
+        payload = random_payloads(1, config, rng=7)[0]
+        frame = encode_stream(payload, config)
+        indices = frame.symbol_indices.reshape(frame.grid.shape).copy()
+        # Corrupt enough detected symbols to defeat the rate-1/2 code.
+        indices[0, ::2] = (indices[0, ::2] + 5) % 16
+        indices[1, ::3] = (indices[1, ::3] + 7) % 16
+        decision = recover_stream(indices, frame.num_pad_bits, config)
+        assert not decision.crc_ok
+
+    def test_few_symbol_errors_are_corrected_by_fec(self):
+        config = default_config(order=4, payload_bits=400)
+        payload = random_payloads(1, config, rng=8)[0]
+        frame = encode_stream(payload, config)
+        indices = frame.symbol_indices.reshape(frame.grid.shape).copy()
+        indices[0, 10] = (indices[0, 10] + 1) % 4
+        indices[2, 30] = (indices[2, 30] + 2) % 4
+        decision = recover_stream(indices, frame.num_pad_bits, config)
+        assert decision.crc_ok
+        assert (decision.payload_bits == payload).all()
+
+
+class TestRates:
+    def test_wifi_like_rates(self):
+        """Rate-1/2 64-QAM on one stream is 36 Mbps; four streams 144."""
+        config = default_config(order=64)
+        assert phy_rate_bps(config, 1) == pytest.approx(36e6)
+        assert phy_rate_bps(config, 4) == pytest.approx(144e6)
+
+    def test_uncoded_doubles_rate(self):
+        coded = default_config(order=16)
+        uncoded = default_config(order=16, coded=False)
+        assert phy_rate_bps(uncoded, 2) == pytest.approx(2 * phy_rate_bps(coded, 2))

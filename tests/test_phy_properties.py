@@ -1,0 +1,169 @@
+"""Property-based tests for the PHY chain and link invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import rayleigh_channel
+from repro.constellation import qam
+from repro.detect import SphereDetector
+from repro.phy import (
+    PhyConfig,
+    default_config,
+    encode_stream,
+    frame_airtime_s,
+    phy_rate_bps,
+    rayleigh_source,
+    recover_stream,
+    simulate_frame,
+)
+from repro.sphere import SphereDecoder, geosphere_decoder
+
+configs = st.builds(
+    default_config,
+    order=st.sampled_from([4, 16, 64]),
+    payload_bits=st.integers(min_value=40, max_value=600),
+    coded=st.booleans(),
+)
+
+
+class TestChainProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(configs, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_perfect_detection_roundtrip(self, config, seed):
+        """For any format, undisturbed symbols decode to the payload."""
+        rng = np.random.default_rng(seed)
+        payload = rng.integers(0, 2, config.payload_bits).astype(np.uint8)
+        frame = encode_stream(payload, config)
+        decision = recover_stream(
+            frame.symbol_indices.reshape(frame.grid.shape),
+            frame.num_pad_bits, config)
+        assert decision.crc_ok
+        assert (decision.payload_bits == payload).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(configs)
+    def test_frame_respects_ofdm_granularity(self, config):
+        payload = np.zeros(config.payload_bits, dtype=np.uint8)
+        frame = encode_stream(payload, config)
+        n_cbps = config.coded_bits_per_ofdm_symbol
+        assert frame.coded_bits.size % n_cbps == 0
+        assert frame.grid.shape[1] == config.ofdm.num_data_subcarriers
+        assert 0 <= frame.num_pad_bits < n_cbps
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=4),
+           st.sampled_from([4, 16, 64]))
+    def test_net_throughput_never_exceeds_phy_rate(self, num_clients, order):
+        config = default_config(order=order, payload_bits=120)
+        payload_fraction = config.payload_bits  # info bits actually carried
+        frame = encode_stream(np.zeros(config.payload_bits, dtype=np.uint8),
+                              config)
+        airtime = frame_airtime_s(frame.grid.shape[0], config)
+        best_case = num_clients * payload_fraction / airtime
+        assert best_case <= phy_rate_bps(config, num_clients) * 1.0 + 1e-9
+
+
+class TestNodeBudget:
+    def test_budget_caps_visited_nodes(self):
+        constellation = qam(16)
+        decoder = SphereDecoder(constellation, node_budget=10)
+        rng = np.random.default_rng(0)
+        channel = rayleigh_channel(4, 4, rng)
+        y = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        result = decoder.decode(channel, y)
+        assert result.counters.visited_nodes <= 10 + 4  # budget + one path
+
+    def test_budget_result_still_valid_leaf(self):
+        """Even truncated, the decoder returns a genuine leaf whose
+        distance matches its symbols."""
+        constellation = qam(16)
+        decoder = SphereDecoder(constellation, node_budget=8)
+        rng = np.random.default_rng(1)
+        channel = rayleigh_channel(4, 4, rng)
+        sent = rng.integers(0, 16, size=4)
+        y = channel @ constellation.points[sent]
+        result = decoder.decode(channel, y)
+        if result.found:
+            residual = float(np.sum(np.abs(y - channel @ result.symbols) ** 2))
+            assert result.distance_sq == pytest.approx(residual, abs=1e-9)
+
+    def test_generous_budget_is_exact_ml(self):
+        constellation = qam(16)
+        unbudgeted = geosphere_decoder(constellation)
+        budgeted = SphereDecoder(constellation, node_budget=1_000_000)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            channel = rayleigh_channel(3, 3, rng)
+            y = rng.standard_normal(3) + 1j * rng.standard_normal(3)
+            a = unbudgeted.decode(channel, y)
+            b = budgeted.decode(channel, y)
+            assert (a.symbol_indices == b.symbol_indices).all()
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            SphereDecoder(qam(4), node_budget=0)
+
+
+class TestFramePayloadControl:
+    def test_explicit_payloads_are_used(self):
+        config = default_config(order=4, payload_bits=100)
+        rng = np.random.default_rng(3)
+        channel = rayleigh_source(4, 2, rng)()
+        payloads = [np.zeros(100, dtype=np.uint8),
+                    np.ones(100, dtype=np.uint8)]
+        detector = SphereDetector(geosphere_decoder(config.constellation))
+        outcome = simulate_frame(channel, detector, config, snr_db=40.0,
+                                 rng=rng, payloads=payloads)
+        assert outcome.stream_success.all()
+
+    def test_mismatched_payload_length_raises(self):
+        config = default_config(order=4, payload_bits=100)
+        channel = rayleigh_source(4, 2, rng=4)()
+        detector = SphereDetector(geosphere_decoder(config.constellation))
+        with pytest.raises(ValueError):
+            simulate_frame(channel, detector, config, snr_db=20.0, rng=5,
+                           payloads=[np.zeros(64, dtype=np.uint8)] * 2)
+
+
+class TestConfig:
+    def test_with_constellation_preserves_format(self):
+        config = PhyConfig(constellation=qam(16), payload_bits=256)
+        denser = config.with_constellation(64)
+        assert denser.constellation.order == 64
+        assert denser.payload_bits == 256
+        assert denser.code is config.code
+
+    def test_rejects_tiny_payload(self):
+        with pytest.raises(ValueError):
+            PhyConfig(constellation=qam(4), payload_bits=4)
+
+
+class TestThresholdRateAdapter:
+    def test_default_thresholds_monotone(self):
+        from repro.phy.rate_adaptation import ThresholdRateAdapter
+        adapter = ThresholdRateAdapter()
+        assert adapter.choose_order(5.0) == 4
+        assert adapter.choose_order(18.0) == 16
+        assert adapter.choose_order(30.0) == 64
+
+    def test_custom_table(self):
+        from repro.phy.rate_adaptation import ThresholdRateAdapter
+        adapter = ThresholdRateAdapter({4: float("-inf"), 256: 35.0})
+        assert adapter.choose_order(34.0) == 4
+        assert adapter.choose_order(36.0) == 256
+        assert adapter.orders == (4, 256)
+
+    def test_choose_config(self):
+        from repro.phy.rate_adaptation import ThresholdRateAdapter
+        config = default_config(order=4, payload_bits=200)
+        adapter = ThresholdRateAdapter()
+        chosen = adapter.choose_config(config, 25.0)
+        assert chosen.constellation.order == 64
+        assert chosen.payload_bits == 200
+
+    def test_requires_fallback_modulation(self):
+        from repro.phy.rate_adaptation import ThresholdRateAdapter
+        with pytest.raises(ValueError):
+            ThresholdRateAdapter({16: 17.0})

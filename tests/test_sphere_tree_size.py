@@ -1,0 +1,52 @@
+"""Reproduces the paper's footnote 1 tree-size arithmetic.
+
+"For a 4x4 MIMO, 16-QAM system the sphere decoding tree has 6.6e4 nodes,
+while for 256-QAM it has 4.3e9 nodes."  These numbers motivate the whole
+enumeration effort; we pin the closed form and check the decoder never
+visits more than the full tree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import awgn, noise_variance_for_snr, rayleigh_channel
+from repro.constellation import qam
+from repro.sphere import geosphere_decoder
+
+
+def full_tree_nodes(order: int, streams: int) -> int:
+    """Total nodes (excluding the virtual root) of the search tree."""
+    return sum(order ** level for level in range(1, streams + 1))
+
+
+class TestFootnoteNumbers:
+    def test_16qam_4x4(self):
+        assert full_tree_nodes(16, 4) == 69_904          # ~6.6e4
+        assert full_tree_nodes(16, 4) == pytest.approx(6.6e4, rel=0.1)
+
+    def test_256qam_4x4(self):
+        assert full_tree_nodes(256, 4) == 4_311_810_304  # ~4.3e9
+        assert full_tree_nodes(256, 4) == pytest.approx(4.3e9, rel=0.01)
+
+    def test_exhaustive_search_counts_from_primer(self):
+        """Section 2: 48 subcarriers, 4 antennas: ~1e4 distances for 4-QAM,
+        ~1e9 for 64-QAM."""
+        assert 48 * 4 ** 4 == pytest.approx(1e4, rel=0.3)
+        assert 48 * 64 ** 4 == pytest.approx(1e9, rel=0.3)
+
+
+class TestVisitedNodesWithinTree:
+    @pytest.mark.parametrize("order,streams", [(4, 4), (16, 3), (64, 2)])
+    def test_visited_bounded_by_full_tree(self, order, streams):
+        constellation = qam(order)
+        decoder = geosphere_decoder(constellation)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            channel = rayleigh_channel(streams, streams, rng)
+            sent = rng.integers(0, order, size=streams)
+            noise_variance = noise_variance_for_snr(channel, 5.0)
+            y = channel @ constellation.points[sent] + awgn(streams, noise_variance, rng)
+            counters = decoder.decode(channel, y).counters
+            assert counters.visited_nodes <= full_tree_nodes(order, streams)
+            # The search must at least walk one root-to-leaf path.
+            assert counters.visited_nodes >= streams

@@ -1,0 +1,98 @@
+"""Tests for the tapped-delay-line channel model."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    exponential_power_delay_profile,
+    sample_taps,
+    tapped_delay_trace,
+)
+from repro.ofdm import WIFI_20MHZ, apply_multipath, demodulate, modulate
+from repro.constellation import qam
+
+
+class TestPowerDelayProfile:
+    def test_normalised(self):
+        profile = exponential_power_delay_profile(8, 2.0)
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_monotone_decay(self):
+        profile = exponential_power_delay_profile(6, 1.5)
+        assert (np.diff(profile) < 0).all()
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            exponential_power_delay_profile(0, 1.0)
+        with pytest.raises(ValueError):
+            exponential_power_delay_profile(4, 0.0)
+
+
+class TestSampleTaps:
+    def test_shape(self):
+        assert sample_taps(4, 2, 6, rng=0).shape == (4, 2, 6)
+
+    def test_unit_total_power(self):
+        taps = sample_taps(2, 2, 6, rng=1)
+        realisations = [sample_taps(2, 2, 6, rng=seed) for seed in range(300)]
+        total = np.mean([np.sum(np.abs(t) ** 2, axis=2).mean()
+                         for t in realisations])
+        assert total == pytest.approx(1.0, rel=0.05)
+        assert taps.shape == (2, 2, 6)
+
+    def test_deterministic(self):
+        assert np.allclose(sample_taps(2, 2, 4, rng=5), sample_taps(2, 2, 4, rng=5))
+
+
+class TestTappedDelayTrace:
+    def test_trace_contract(self):
+        trace = tapped_delay_trace(3, 4, 2, rng=0)
+        assert trace.matrices.shape == (3, 48, 4, 2)
+        assert trace.label == "tapped-delay"
+
+    def test_frequency_selective(self):
+        trace = tapped_delay_trace(1, 2, 2, num_taps=6, rng=1)
+        assert not np.allclose(trace.matrices[0, 0], trace.matrices[0, 24],
+                               atol=1e-3)
+
+    def test_single_tap_is_flat(self):
+        trace = tapped_delay_trace(1, 2, 2, num_taps=1, rng=2)
+        assert np.allclose(trace.matrices[0, 0], trace.matrices[0, 24])
+
+    def test_rejects_taps_beyond_cp(self):
+        with pytest.raises(ValueError):
+            tapped_delay_trace(1, 2, 2, num_taps=30)
+
+    def test_consistent_with_time_domain_ofdm(self):
+        """The trace's per-subcarrier matrices equal what a time-domain
+        OFDM link actually experiences with the same taps."""
+        rng_seed = 7
+        taps = sample_taps(2, 1, 5, rng=rng_seed)
+        constellation = qam(16)
+        rng = np.random.default_rng(8)
+        grid = constellation.points[rng.integers(0, 16, size=(4, 48))]
+        samples = modulate(grid, WIFI_20MHZ)
+        received = apply_multipath(samples[None, :], taps[:, :1, :])
+        data0, _ = demodulate(received[0], WIFI_20MHZ)
+        spectrum = np.fft.fft(taps, n=64, axis=2)
+        gains = spectrum[0, 0, WIFI_20MHZ.data_bin_indices()]
+        assert np.allclose(data0[1:], grid[1:] * gains[None, :], atol=1e-9)
+
+
+class TestTreeSize:
+    def test_exports(self):
+        from repro.sphere import (
+            exhaustive_distance_count,
+            full_tree_node_count,
+            worst_case_ped_calcs,
+        )
+        assert full_tree_node_count(16, 4) == 69_904
+        assert exhaustive_distance_count(4, 4, 48) == 48 * 256
+        assert worst_case_ped_calcs(4, 2) == 20
+
+    def test_validation(self):
+        from repro.sphere import full_tree_node_count
+        with pytest.raises(ValueError):
+            full_tree_node_count(1, 4)
+        with pytest.raises(ValueError):
+            full_tree_node_count(4, 0)

@@ -1,0 +1,177 @@
+"""Tests for the simulated testbed: geometry, ray tracing, trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.testbed import (
+    FloorPlan,
+    TestbedLayout,
+    Wall,
+    default_layout,
+    default_office_plan,
+    generate_testbed_trace,
+    link_channel,
+    segment_intersections,
+    trace_paths,
+    WAVELENGTH_M,
+)
+
+
+class TestFloorPlan:
+    def test_default_plan_dimensions(self):
+        plan = default_office_plan()
+        assert plan.width == 30.0 and plan.height == 15.0
+        assert len(plan.walls) >= 10
+
+    def test_contains(self):
+        plan = default_office_plan()
+        assert plan.contains((1.0, 1.0))
+        assert not plan.contains((-1.0, 5.0))
+        assert not plan.contains((5.0, 20.0))
+
+    def test_wall_validation(self):
+        with pytest.raises(ValueError):
+            Wall((0, 0), (0, 0))
+        with pytest.raises(ValueError):
+            Wall((0, 0), (1, 0), reflection_amplitude=1.5)
+        with pytest.raises(ValueError):
+            Wall((0, 0), (1, 0), penetration_loss_db=-1.0)
+
+    def test_layout_has_fifteen_nodes(self):
+        """The paper's testbed has 15 nodes."""
+        assert default_layout().num_nodes == 15
+
+    def test_antenna_array_spacing(self):
+        layout = default_layout()
+        antennas = layout.ap_antenna_positions(0, 4)
+        spacings = np.linalg.norm(np.diff(antennas, axis=0), axis=1)
+        assert np.allclose(spacings, 0.20)  # the paper's ~3.2 lambda
+
+    def test_rejects_node_outside_plan(self):
+        plan = default_office_plan()
+        with pytest.raises(ValueError):
+            TestbedLayout(plan=plan, ap_positions=((50.0, 5.0),),
+                          ap_orientations_rad=(0.0,),
+                          client_positions=((1.0, 1.0), (2.0, 2.0)))
+
+
+class TestSegmentIntersection:
+    def test_crossing_detected(self):
+        plan = default_office_plan()
+        # From a south office to a north office: crosses both corridor walls.
+        crossed = segment_intersections((3.0, 3.0), (3.0, 12.0), plan)
+        assert len(crossed) == 2
+
+    def test_same_room_clear(self):
+        plan = default_office_plan()
+        crossed = segment_intersections((1.0, 1.0), (5.0, 5.0), plan)
+        assert crossed == []
+
+    def test_parallel_wall_not_crossed(self):
+        plan = default_office_plan()
+        crossed = segment_intersections((1.0, 6.5), (5.0, 6.5), plan)
+        # Running along the corridor wall is not a crossing.
+        assert all(wall.start[1] != 6.5 for wall in crossed)
+
+
+class TestRayTracing:
+    def test_direct_path_always_present(self):
+        plan = default_office_plan()
+        paths = trace_paths(plan, (3.0, 3.0), (9.0, 4.0), WAVELENGTH_M)
+        assert len(paths) >= 1
+        # The direct path is the shortest.
+        delays = [path.delay_s for path in paths]
+        assert delays[0] == min(delays)
+
+    def test_reflections_exist_in_a_room(self):
+        plan = default_office_plan()
+        paths = trace_paths(plan, (1.5, 1.5), (4.5, 5.0), WAVELENGTH_M)
+        assert len(paths) > 3  # direct + several wall bounces
+
+    def test_path_gain_decays_with_distance(self):
+        plan = default_office_plan()
+        near = trace_paths(plan, (1.0, 1.0), (2.0, 1.0), WAVELENGTH_M)[0]
+        far = trace_paths(plan, (1.0, 1.0), (29.0, 1.0), WAVELENGTH_M)[0]
+        assert abs(near.gain) > abs(far.gain)
+
+    def test_wall_penetration_attenuates(self):
+        plan = default_office_plan()
+        same_room = trace_paths(plan, (1.0, 3.0), (5.0, 3.0), WAVELENGTH_M)[0]
+        through_wall = trace_paths(plan, (1.0, 3.0), (1.0 + 4.0 * np.cos(0.1), 10.0),
+                                   WAVELENGTH_M)[0]
+        # Same-ish distance but two drywall crossings => weaker.
+        assert abs(through_wall.gain) < abs(same_room.gain)
+
+    def test_delay_matches_geometry(self):
+        plan = default_office_plan()
+        path = trace_paths(plan, (1.0, 1.0), (4.0, 5.0), WAVELENGTH_M)[0]
+        assert path.delay_s == pytest.approx(5.0 / 299_792_458.0)
+
+    def test_rejects_outside_nodes(self):
+        plan = default_office_plan()
+        with pytest.raises(ValueError):
+            trace_paths(plan, (-5.0, 0.0), (1.0, 1.0), WAVELENGTH_M)
+
+
+class TestLinkChannel:
+    def test_shape_and_normalisation(self):
+        layout = default_layout()
+        channels = link_channel(layout, 0, [0, 1, 2], num_ap_antennas=4)
+        assert channels.shape == (48, 4, 3)
+        for client in range(3):
+            power = np.mean(np.abs(channels[:, :, client]) ** 2)
+            assert power == pytest.approx(1.0)
+
+    def test_frequency_selectivity(self):
+        layout = default_layout()
+        channels = link_channel(layout, 0, [0], num_ap_antennas=2)
+        # The channel varies across subcarriers (multipath).
+        assert not np.allclose(channels[0], channels[24], atol=1e-3)
+
+    def test_unnormalised_channels_preserve_pathloss(self):
+        layout = default_layout()
+        near = link_channel(layout, 0, [1], 2, normalize=False)  # client near AP 0
+        far = link_channel(layout, 0, [4], 2, normalize=False)   # far east client
+        assert np.mean(np.abs(near) ** 2) > np.mean(np.abs(far) ** 2)
+
+
+class TestTraceGeneration:
+    def test_trace_shape_and_determinism(self):
+        trace_a = generate_testbed_trace(2, 4, num_links=5, seed=7)
+        trace_b = generate_testbed_trace(2, 4, num_links=5, seed=7)
+        assert trace_a.matrices.shape == (5, 48, 4, 2)
+        assert np.array_equal(trace_a.matrices, trace_b.matrices)
+
+    def test_different_seeds_differ(self):
+        trace_a = generate_testbed_trace(2, 4, num_links=5, seed=1)
+        trace_b = generate_testbed_trace(2, 4, num_links=5, seed=2)
+        assert not np.allclose(trace_a.matrices, trace_b.matrices)
+
+    def test_rejects_more_clients_than_antennas(self):
+        with pytest.raises(ValueError):
+            generate_testbed_trace(4, 2, num_links=2)
+
+    def test_conditioning_matches_paper_statistics(self):
+        """Fig. 9/10 anchors: ~60% of 2x2 links above 10 dB kappa^2; 4x4
+        nearly always poorly conditioned; 2 clients x 4 antennas mostly
+        well conditioned (<3 dB degradation for ~90%)."""
+        two_by_two = generate_testbed_trace(2, 2, num_links=20, seed=1)
+        four_by_four = generate_testbed_trace(4, 4, num_links=20, seed=1)
+        two_by_four = generate_testbed_trace(2, 4, num_links=20, seed=1)
+
+        k2_2x2 = two_by_two.condition_numbers_sq_db()
+        assert 0.4 <= np.mean(k2_2x2 > 10.0) <= 0.8
+
+        k2_4x4 = four_by_four.condition_numbers_sq_db()
+        assert np.mean(k2_4x4 > 10.0) > 0.85
+
+        # 2 clients x 4 antennas is by far the best-conditioned case
+        # (the paper reports <3 dB for 90% of channels; our ray-traced
+        # substitute reaches a ~2 dB median — see DESIGN.md deviations).
+        lam_2x4 = two_by_four.worst_degradations_db()
+        assert np.median(lam_2x4) < 3.0
+
+        # More clients on the same array => worse conditioning (the
+        # monotonicity the paper leans on for user selection).
+        lam_4x4 = four_by_four.worst_degradations_db()
+        assert np.median(lam_4x4) > 2.0 * np.median(lam_2x4)
