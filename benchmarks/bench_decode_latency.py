@@ -1,17 +1,26 @@
-"""Micro-benchmarks: wall-clock latency of one sphere decode.
+"""Micro-benchmarks: wall-clock latency of sphere decoding.
 
 Complements the PED-calculation counters with actual Python runtime for a
-single maximum-likelihood detection, decoder by decoder.  Fixed channel
-and observation per case so the numbers are comparable across decoders
-and runs.
+single maximum-likelihood detection, decoder by decoder, plus the
+scalar-vs-batch comparison that tracks the batch detection engine's
+speedup in the perf trajectory.  Fixed channel and observations per case
+so the numbers are comparable across decoders and runs.
 """
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.channel import awgn, noise_variance_for_snr, rayleigh_channel
 from repro.constellation import qam
-from repro.sphere import eth_sd_decoder, geosphere_decoder, geosphere_zigzag_only
+from repro.sphere import (
+    KBestDecoder,
+    eth_sd_decoder,
+    geosphere_decoder,
+    geosphere_zigzag_only,
+    triangularize,
+)
 
 
 def _fixed_instance(order, num_tx, num_rx, snr_db, seed=42):
@@ -22,6 +31,32 @@ def _fixed_instance(order, num_tx, num_rx, snr_db, seed=42):
     noise_variance = noise_variance_for_snr(channel, snr_db)
     y = channel @ constellation.points[sent] + awgn(num_rx, noise_variance, rng)
     return channel, y
+
+
+def _fixed_block(order, num_tx, num_rx, num_vectors, snr_db, seed=42):
+    """One channel, ``num_vectors`` observations — a frame's worth of
+    subcarriers under the paper's flat per-frame Rayleigh convention —
+    rotated into the triangular domain."""
+    rng = np.random.default_rng(seed)
+    constellation = qam(order)
+    channel = rayleigh_channel(num_rx, num_tx, rng)
+    sent = rng.integers(0, order, size=(num_vectors, num_tx))
+    noise_variance = noise_variance_for_snr(channel, snr_db)
+    received = (constellation.points[sent] @ channel.T
+                + awgn((num_vectors, num_rx), noise_variance, rng))
+    q, r = triangularize(channel)
+    return r, received @ np.conj(q)
+
+
+def _best_of(function, repeats=5):
+    """Best-of-N wall clock; N=5 keeps the speedup assertion robust to
+    noisy-neighbour CI runners (typical margin is ~15x over the floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 CASES = [
@@ -48,3 +83,64 @@ def test_decode_latency(benchmark, case_name, order, num_tx, snr_db,
     assert result.found
     benchmark.extra_info["ped_calcs"] = result.counters.ped_calcs
     benchmark.extra_info["visited_nodes"] = result.counters.visited_nodes
+
+
+# ----------------------------------------------------------------------
+# Scalar loop vs batch engine (the ISSUE-1 acceptance numbers)
+# ----------------------------------------------------------------------
+
+SUBCARRIERS = 64
+
+
+def test_kbest_batch_speedup(benchmark):
+    """Vectorised K-best over a 64-subcarrier block must beat the scalar
+    loop by >= 3x wall-clock while staying bit-identical.
+
+    Baseline note: the scalar loop timed here accumulates interference
+    via per-column ``np.multiply`` (required for the bit-exact batch
+    contract), which is slightly slower than the seed's single BLAS dot;
+    the measured ~50x is vs this contract-compliant scalar path, and the
+    3x floor holds with wide margin against either baseline.
+    """
+    r, y_hat = _fixed_block(16, 4, 4, SUBCARRIERS, snr_db=20.0)
+    decoder = KBestDecoder(qam(16), k=16)
+
+    def scalar_loop():
+        return [decoder.decode_triangular(r, y_hat[t])
+                for t in range(SUBCARRIERS)]
+
+    scalar_s = _best_of(scalar_loop)
+    batch_s = _best_of(lambda: decoder.decode_batch(r, y_hat))
+    speedup = scalar_s / batch_s
+
+    result = benchmark(decoder.decode_batch, r, y_hat)
+    scalars = scalar_loop()
+    assert np.array_equal(result.symbol_indices,
+                          np.stack([s.symbol_indices for s in scalars]))
+    assert np.array_equal(result.distances_sq,
+                          np.array([s.distance_sq for s in scalars]))
+
+    benchmark.extra_info["scalar_s"] = scalar_s
+    benchmark.extra_info["batch_s"] = batch_s
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 3.0, (
+        f"batch K-best speedup {speedup:.1f}x below the 3x floor "
+        f"(scalar {scalar_s * 1e3:.1f} ms, batch {batch_s * 1e3:.1f} ms)")
+
+
+@pytest.mark.parametrize("decoder_kind", sorted(FACTORIES))
+def test_sphere_batch_vs_scalar(benchmark, decoder_kind):
+    """Depth-first decoders share preprocessing across the batch; report
+    the (modest) amortisation alongside the batch latency."""
+    r, y_hat = _fixed_block(16, 4, 4, SUBCARRIERS, snr_db=20.0)
+    decoder = FACTORIES[decoder_kind](qam(16))
+
+    scalar_s = _best_of(lambda: [decoder.decode_triangular(r, y_hat[t])
+                                 for t in range(SUBCARRIERS)])
+    result = benchmark(decoder.decode_batch, r, y_hat)
+    assert result.found.all()
+    batch_s = _best_of(lambda: decoder.decode_batch(r, y_hat))
+    benchmark.extra_info["scalar_s"] = scalar_s
+    benchmark.extra_info["batch_s"] = batch_s
+    benchmark.extra_info["speedup"] = scalar_s / batch_s
+    benchmark.extra_info["ped_calcs"] = result.counters.ped_calcs

@@ -1,7 +1,32 @@
 """MIMO detectors: linear baselines, SIC, exhaustive ML, sphere adapter,
-hybrid switching and soft demapping."""
+hybrid switching and soft demapping.
 
-from .base import DetectionResult, Detector
+Batch detection API
+-------------------
+Every detector implements two entry points:
+
+``detect(channel, received, noise_variance)``
+    One channel use → :class:`DetectionResult`.  Convenience path for
+    tests and worked examples.
+
+``detect_batch(channel, received_block, noise_variance)``
+    A ``(T, na)`` block of channel uses over one channel →
+    :class:`BatchDetectionResult`.  This is the hot path: the OFDM
+    receive chain (:func:`repro.phy.receiver.detect_uplink`) hands each
+    subcarrier's full symbol block to the detector in one call, so
+    channel-only preprocessing (pseudo-inverse, MMSE filter bank, QR
+    factorisation) is paid once per frame and the per-vector work is
+    vectorised wherever the algorithm allows — fully for the linear,
+    MMSE-SIC and K-best detectors, shared-state amortisation for the
+    depth-first sphere decoder.  Detectors that track the paper's
+    complexity counters return them aggregated over the block; the
+    aggregate equals the sum of per-vector counters exactly.
+
+The older ``detect_block`` methods (returning the bare index array)
+remain as thin wrappers for backwards compatibility.
+"""
+
+from .base import BatchDetectionResult, DetectionResult, Detector
 from .hybrid import HybridDetector
 from .linear import MmseDetector, ZeroForcingDetector, mmse_equalize, zf_equalize
 from .llr import axis_bit_partitions, max_log_llrs
@@ -10,6 +35,7 @@ from .sic import MmseSicDetector
 from .sphere_adapter import SphereDetector
 
 __all__ = [
+    "BatchDetectionResult",
     "DetectionResult",
     "Detector",
     "ExhaustiveMLDetector",

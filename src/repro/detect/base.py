@@ -4,6 +4,13 @@ Every MIMO detector — linear, SIC or sphere — maps one received vector
 ``y = Hx + w`` to hard symbol decisions through the same entry point, so
 link-level simulations (:mod:`repro.phy.link`) can swap detectors the way
 the paper's evaluation swaps zero-forcing for Geosphere.
+
+The interface is *batch-first*: real OFDM receivers never detect one
+vector at a time — each subcarrier's channel is preprocessed once per
+frame and every symbol vector of the frame is detected against it.
+:meth:`Detector.detect_batch` is therefore the primary entry point, and
+the per-vector :meth:`Detector.detect` is the convenience wrapper, not
+the other way around.
 """
 
 from __future__ import annotations
@@ -15,7 +22,8 @@ import numpy as np
 
 from ..sphere.counters import ComplexityCounters
 
-__all__ = ["DetectionResult", "Detector"]
+__all__ = ["BatchDetectionResult", "DetectionResult", "Detector",
+           "hard_decision_batch"]
 
 
 @dataclass
@@ -38,6 +46,43 @@ class DetectionResult:
     counters: ComplexityCounters | None = None
 
 
+@dataclass
+class BatchDetectionResult:
+    """Hard decisions for a block of channel uses over one channel.
+
+    Attributes
+    ----------
+    symbols:
+        ``(T, nc)`` detected complex constellation points.
+    symbol_indices:
+        ``(T, nc)`` flattened constellation indices.
+    counters:
+        Complexity tallies aggregated over the whole block when the
+        detector tracks them (sphere and K-best decoders), else ``None``.
+        For tracking detectors the aggregate equals the *sum* of the
+        per-vector counters — the invariant the paper's complexity
+        figures rely on.
+    """
+
+    symbols: np.ndarray
+    symbol_indices: np.ndarray
+    counters: ComplexityCounters | None = None
+
+    def __len__(self) -> int:
+        return int(self.symbol_indices.shape[0])
+
+
+def hard_decision_batch(constellation, symbol_indices) -> BatchDetectionResult:
+    """Wrap a ``(T, nc)`` index array as a counter-less batch result.
+
+    Shared by every slicing detector (ZF, MMSE, SIC, exhaustive ML) whose
+    ``detect_batch`` is its vectorised ``detect_block`` plus symbol
+    lookup.
+    """
+    return BatchDetectionResult(symbols=constellation.points[symbol_indices],
+                                symbol_indices=symbol_indices)
+
+
 @runtime_checkable
 class Detector(Protocol):
     """Protocol implemented by all detectors in :mod:`repro.detect`."""
@@ -50,4 +95,15 @@ class Detector(Protocol):
 
         ``noise_variance`` is the total complex noise power per receive
         antenna; detectors that do not need it (ZF, ML) ignore it.
+        """
+
+    def detect_batch(self, channel: np.ndarray, received_block: np.ndarray,
+                     noise_variance: float) -> BatchDetectionResult:
+        """Detect a ``(T, na)`` block of received vectors over one channel.
+
+        Channel-only preprocessing (pseudo-inverse, MMSE filters, QR) is
+        performed once for the whole block; per-vector work is vectorised
+        where the algorithm allows it.  This is the entry point the OFDM
+        receive chain uses, handing each subcarrier's full symbol block
+        to the detector in one call.
         """

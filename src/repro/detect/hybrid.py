@@ -17,7 +17,7 @@ from ..constellation.qam import QamConstellation
 from ..sphere.counters import ComplexityCounters
 from ..sphere.decoder import geosphere_decoder
 from ..utils.validation import require
-from .base import DetectionResult
+from .base import BatchDetectionResult, DetectionResult
 from .linear import ZeroForcingDetector
 from .sphere_adapter import SphereDetector
 
@@ -50,17 +50,29 @@ class HybridDetector:
             return self._sphere.detect(channel, received, noise_variance)
         return self._zf.detect(channel, received, noise_variance)
 
-    def detect_block(self, channel, received_block,
-                     noise_variance: float = 0.0) -> np.ndarray:
+    def detect_batch(self, channel, received_block,
+                     noise_variance: float = 0.0) -> BatchDetectionResult:
         self._total_uses += 1
         if self._use_sphere(channel):
             self._sphere_uses += 1
-            indices = self._sphere.detect_block(channel, received_block,
-                                                noise_variance)
+            result = self._sphere.detect_batch(channel, received_block,
+                                               noise_variance)
             self.last_block_counters = self._sphere.last_block_counters
         else:
-            indices = self._zf.detect_block(channel, received_block,
-                                            noise_variance)
+            zf_result = self._zf.detect_batch(channel, received_block,
+                                              noise_variance)
+            # Zero-cost blocks still report (empty) counters so link-level
+            # complexity aggregation sees the hybrid as a tracking detector
+            # even on frames where ZF handled every subcarrier.
             self.last_block_counters = ComplexityCounters()
+            result = BatchDetectionResult(
+                symbols=zf_result.symbols,
+                symbol_indices=zf_result.symbol_indices,
+                counters=self.last_block_counters)
         self.sphere_fraction = self._sphere_uses / self._total_uses
-        return indices
+        return result
+
+    def detect_block(self, channel, received_block,
+                     noise_variance: float = 0.0) -> np.ndarray:
+        return self.detect_batch(channel, received_block,
+                                 noise_variance).symbol_indices

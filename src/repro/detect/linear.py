@@ -14,7 +14,7 @@ import numpy as np
 
 from ..constellation.qam import QamConstellation
 from ..utils.validation import as_complex_matrix, as_complex_vector, require
-from .base import DetectionResult
+from .base import BatchDetectionResult, DetectionResult, hard_decision_batch
 
 __all__ = ["ZeroForcingDetector", "MmseDetector", "zf_equalize", "mmse_equalize"]
 
@@ -77,6 +77,13 @@ class ZeroForcingDetector:
         estimates = block @ pinv.T
         return self.constellation.slice_indices(estimates)
 
+    def detect_batch(self, channel, received_block,
+                     noise_variance: float = 0.0) -> BatchDetectionResult:
+        """Batch entry point: one pseudo-inverse, ``T`` sliced decisions."""
+        return hard_decision_batch(
+            self.constellation,
+            self.detect_block(channel, received_block, noise_variance))
+
 
 class MmseDetector:
     """Hard-decision MMSE receiver."""
@@ -105,3 +112,10 @@ class MmseDetector:
         weights = np.linalg.solve(gram, matrix.conj().T)
         estimates = block @ weights.T
         return self.constellation.slice_indices(estimates)
+
+    def detect_batch(self, channel, received_block,
+                     noise_variance: float) -> BatchDetectionResult:
+        """Batch entry point: one MMSE filter, ``T`` sliced decisions."""
+        return hard_decision_batch(
+            self.constellation,
+            self.detect_block(channel, received_block, noise_variance))

@@ -12,7 +12,7 @@ import numpy as np
 
 from ..constellation.qam import QamConstellation
 from ..utils.validation import as_complex_matrix, as_complex_vector, require
-from .base import DetectionResult
+from .base import BatchDetectionResult, DetectionResult, hard_decision_batch
 
 __all__ = ["ExhaustiveMLDetector"]
 
@@ -70,6 +70,18 @@ class ExhaustiveMLDetector:
             distances = np.sum(np.abs(block[t][:, None] - candidates) ** 2, axis=0)
             indices[t] = grids[:, int(np.argmin(distances))]
         return indices
+
+    def detect_batch(self, channel, received_block,
+                     noise_variance: float = 0.0) -> BatchDetectionResult:
+        """Batch entry point: ``H s`` hypotheses built once for the block.
+
+        The per-vector distance scan stays a loop on purpose — the
+        ``(T, na, M^nc)`` residual tensor would not fit in memory for the
+        dense constellations this detector guards against.
+        """
+        return hard_decision_batch(
+            self.constellation,
+            self.detect_block(channel, received_block, noise_variance))
 
     def distance_of(self, channel, received, symbol_indices) -> float:
         """``||y - Hs||^2`` for a given hypothesis (test helper)."""

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..constellation.qam import QamConstellation
 from ..utils.validation import as_complex_matrix, as_complex_vector, require
-from .base import DetectionResult
+from .base import BatchDetectionResult, DetectionResult, hard_decision_batch
 
 __all__ = ["MmseSicDetector"]
 
@@ -82,3 +82,11 @@ class MmseSicDetector:
             residual = residual - np.outer(self.constellation.points[detected],
                                            matrix[:, stream])
         return indices
+
+    def detect_batch(self, channel, received_block,
+                     noise_variance: float) -> BatchDetectionResult:
+        """Batch entry point: per-stage filters computed once, then every
+        vector detected and cancelled in lockstep array ops."""
+        return hard_decision_batch(
+            self.constellation,
+            self.detect_block(channel, received_block, noise_variance))

@@ -1,7 +1,13 @@
-"""Adapter exposing sphere decoders through the Detector protocol.
+"""Adapter exposing tree-search decoders through the Detector protocol.
 
 Keeps :mod:`repro.sphere` focused on the tree search while link-level code
-talks to every receiver through :class:`repro.detect.base.Detector`.
+talks to every receiver through :class:`repro.detect.base.Detector`.  The
+adapter wraps anything with the sphere-decoder calling convention —
+:class:`~repro.sphere.decoder.SphereDecoder` and
+:class:`~repro.sphere.kbest.KBestDecoder` both qualify — and routes block
+detection through the decoder's ``decode_block`` batch entry point, so
+the QR factorisation happens once per (channel, frame) and the K-best
+path runs fully vectorised.
 """
 
 from __future__ import annotations
@@ -9,23 +15,28 @@ from __future__ import annotations
 import numpy as np
 
 from ..sphere.counters import ComplexityCounters
-from ..sphere.decoder import SphereDecoder
-from .base import DetectionResult
+from .base import BatchDetectionResult, DetectionResult
 
 __all__ = ["SphereDetector"]
 
 
 class SphereDetector:
-    """Maximum-likelihood detector backed by a :class:`SphereDecoder`."""
+    """Detector backed by a sphere or K-best decoder."""
 
-    def __init__(self, decoder: SphereDecoder, name: str | None = None) -> None:
+    def __init__(self, decoder, name: str | None = None) -> None:
         self.decoder = decoder
         self.constellation = decoder.constellation
         if name is None:
-            pruning = "+prune" if decoder.geometric_pruning else ""
-            name = f"sphere[{decoder.enumerator}{pruning}]"
+            enumerator = getattr(decoder, "enumerator", None)
+            if enumerator is not None:
+                pruning = "+prune" if decoder.geometric_pruning else ""
+                name = f"sphere[{enumerator}{pruning}]"
+            elif hasattr(decoder, "k"):
+                name = f"k-best[{decoder.k}]"
+            else:
+                name = "sphere"
         self.name = name
-        #: Counters accumulated by the most recent :meth:`detect_block`.
+        #: Counters accumulated by the most recent block detection.
         self.last_block_counters = ComplexityCounters()
         self.last_block_detections = 0
 
@@ -35,25 +46,25 @@ class SphereDetector:
                                symbol_indices=result.symbol_indices,
                                counters=result.counters)
 
-    def detect_block(self, channel, received_block,
-                     noise_variance: float = 0.0) -> np.ndarray:
-        """Detect many vectors over one channel; returns ``(T, nc)`` indices.
+    def detect_batch(self, channel, received_block,
+                     noise_variance: float = 0.0) -> BatchDetectionResult:
+        """Detect a ``(T, na)`` block over one channel via ``decode_block``.
 
         The QR factorisation is shared across the block — exactly how the
-        per-frame OFDM receiver amortises preprocessing — and the per-vector
-        complexity counters accumulate into :attr:`last_block_counters`.
+        per-frame OFDM receiver amortises preprocessing — and the
+        aggregated complexity counters (equal to the sum of per-vector
+        counters) are returned on the result and mirrored into
+        :attr:`last_block_counters`.
         """
-        from ..sphere.qr import triangularize
+        result = self.decoder.decode_block(channel, received_block)
+        self.last_block_counters = result.counters
+        self.last_block_detections = len(result)
+        return BatchDetectionResult(symbols=result.symbols,
+                                    symbol_indices=result.symbol_indices,
+                                    counters=result.counters)
 
-        block = np.asarray(received_block, dtype=np.complex128)
-        q, r = triangularize(channel)
-        q_hermitian = q.conj().T
-        totals = ComplexityCounters()
-        indices = np.empty((block.shape[0], channel.shape[1]), dtype=np.int64)
-        for t in range(block.shape[0]):
-            result = self.decoder.decode_triangular(r, q_hermitian @ block[t])
-            indices[t] = result.symbol_indices
-            totals.merge(result.counters)
-        self.last_block_counters = totals
-        self.last_block_detections = block.shape[0]
-        return indices
+    def detect_block(self, channel, received_block,
+                     noise_variance: float = 0.0) -> np.ndarray:
+        """Legacy block interface; returns the ``(T, nc)`` index array."""
+        return self.detect_batch(channel, received_block,
+                                 noise_variance).symbol_indices

@@ -69,6 +69,11 @@ def apply_multipath(streams, taps) -> np.ndarray:
     ``(num_rx, num_tx, num_taps)``.  Returns ``(num_rx, num_samples)``
     (the convolution tail is truncated, mimicking a receiver synchronised
     to the first arriving path).
+
+    Vectorised per delay tap: each tap contributes one ``(num_rx,
+    num_tx) @ (num_tx, samples)`` product, so the work scales with the
+    (short) delay spread instead of looping over every antenna pair in
+    Python.
     """
     streams = np.asarray(streams, dtype=np.complex128)
     taps = np.asarray(taps, dtype=np.complex128)
@@ -79,9 +84,8 @@ def apply_multipath(streams, taps) -> np.ndarray:
     num_rx = taps.shape[0]
     num_samples = streams.shape[1]
     received = np.zeros((num_rx, num_samples), dtype=np.complex128)
-    for rx in range(num_rx):
-        for tx in range(streams.shape[0]):
-            received[rx] += np.convolve(streams[tx], taps[rx, tx])[:num_samples]
+    for tap in range(min(taps.shape[2], num_samples)):
+        received[:, tap:] += taps[:, :, tap] @ streams[:, :num_samples - tap]
     return received
 
 

@@ -24,7 +24,7 @@ from ..sphere.counters import ComplexityCounters
 from ..utils.rng import as_generator
 from ..utils.validation import require
 from .config import PhyConfig
-from .receiver import recover_uplink
+from .receiver import detect_uplink, recover_uplink
 from .throughput import frame_airtime_s, net_throughput_bps
 from .transmitter import build_uplink_frame, random_payloads
 
@@ -119,6 +119,11 @@ def simulate_frame(channels, detector, config: PhyConfig, snr_db: float,
     ``channels``: flat ``(na, nc)`` or per-subcarrier ``(S, na, nc)``.
     Returns per-stream CRC verdicts and, when the detector exposes
     complexity counters, their aggregate over every detection.
+
+    The receive side is batch-first end to end: the whole frame's channel
+    application and noise are vectorised, and every subcarrier's block of
+    symbol vectors is handed to the detector's ``detect_batch`` in one
+    call (see :func:`repro.phy.receiver.detect_uplink`).
     """
     generator = as_generator(rng)
     num_subcarriers = config.ofdm.num_data_subcarriers
@@ -135,30 +140,18 @@ def simulate_frame(channels, detector, config: PhyConfig, snr_db: float,
     num_symbols = tensor.shape[0]
 
     noise_variance = _noise_variance(matrices, snr_db)
-    detected = np.empty((num_symbols, num_subcarriers, num_clients),
-                        dtype=np.int64)
-    totals = ComplexityCounters()
-    saw_counters = False
-    detections = 0
-    for s in range(num_subcarriers):
-        channel = matrices[s]
-        sent = tensor[:, s, :]                        # (T, nc)
-        clean = sent @ channel.T                      # (T, na)
-        received = clean + awgn(clean.shape, noise_variance, generator)
-        detected[:, s, :] = detector.detect_block(channel, received,
-                                                  noise_variance)
-        detections += num_symbols
-        block_counters = getattr(detector, "last_block_counters", None)
-        if block_counters is not None:
-            totals.merge(block_counters)
-            saw_counters = True
+    # y[t, s] = H[s] @ x[t, s] for the whole frame in one contraction.
+    clean = np.einsum("tsc,sac->tsa", tensor, matrices)
+    received = clean + awgn(clean.shape, noise_variance, generator)
+    detection = detect_uplink(matrices, received, detector, noise_variance)
 
-    decisions = recover_uplink(detected, frame.streams[0].num_pad_bits, config)
+    decisions = recover_uplink(detection.symbol_indices,
+                               frame.streams[0].num_pad_bits, config)
     success = np.array([decision.crc_ok for decision in decisions])
     return FrameOutcome(stream_success=success,
                         num_ofdm_symbols=num_symbols,
-                        detections=detections,
-                        counters=totals if saw_counters else None)
+                        detections=detection.detections,
+                        counters=detection.counters)
 
 
 # ----------------------------------------------------------------------

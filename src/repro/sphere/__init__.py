@@ -13,6 +13,7 @@ Public surface:
 * :class:`GeometricPruner` — the table-driven branch lower bound.
 """
 
+from .batch import BatchDecodeResult, batched_axis_orders
 from .counters import ComplexityCounters
 from .decoder import (
     SphereDecoder,
@@ -41,6 +42,7 @@ from .zigzag import GeosphereEnumerator
 
 __all__ = [
     "AxisOrder",
+    "BatchDecodeResult",
     "Candidate",
     "ComplexityCounters",
     "ExhaustiveEnumerator",
@@ -54,6 +56,7 @@ __all__ = [
     "SoftDecodeResult",
     "SphereDecoder",
     "SphereDecoderResult",
+    "batched_axis_orders",
     "build_axes",
     "eth_sd_decoder",
     "exhaustive_distance_count",

@@ -1,0 +1,142 @@
+"""Batched decoding primitives shared by the block-processing decoders.
+
+The scalar decoders in :mod:`repro.sphere.decoder` and
+:mod:`repro.sphere.kbest` answer one question per call: "what was sent in
+this channel use?".  An OFDM receiver asks that question once per (OFDM
+symbol, subcarrier) pair — hundreds of times per frame against the *same*
+triangularised channel — so the batch entry points (``decode_batch``)
+amortise everything that does not depend on the observation and, where the
+algorithm allows it (K-best), run the whole batch through numpy array
+ops.
+
+This module holds the two pieces both batch paths share:
+
+* :class:`BatchDecodeResult` — the structure-of-arrays result for a batch
+  of decodes, mirroring
+  :class:`~repro.sphere.decoder.SphereDecoderResult` field by field;
+* :func:`batched_axis_orders` — a fully vectorised re-implementation of
+  the per-node :class:`~repro.sphere.enumerator.AxisOrder` construction
+  (slice + 1-D zigzag ordering) for many nodes at once.
+
+Bit-exactness contract
+----------------------
+``batched_axis_orders`` reproduces the scalar
+:func:`repro.constellation.pam.zigzag_indices` walk *exactly*: the same
+level ordering, the same residuals computed with the same floating-point
+operations.  The batch equivalence tests
+(``tests/test_batch_equivalence.py``) assert bit-identical symbol
+decisions and distances against the scalar decoders, so any change here
+must preserve the operation-for-operation correspondence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constellation.pam import slice_to_index
+from ..utils.validation import require
+from .counters import ComplexityCounters
+from .qr import triangularize
+
+__all__ = ["BatchDecodeResult", "batched_axis_orders", "as_batch_matrix",
+           "qr_decode_block"]
+
+
+@dataclass
+class BatchDecodeResult:
+    """Outcome of decoding a batch of observations against one channel.
+
+    Attributes
+    ----------
+    found:
+        Boolean per batch element; ``False`` only when a finite
+        ``initial_radius_sq`` excluded every leaf of that element's tree.
+    symbol_indices:
+        ``(T, nc)`` flattened constellation indices (``-1`` where
+        ``found`` is ``False``).
+    symbols:
+        ``(T, nc)`` detected complex symbols (``nan`` where not found).
+    distances_sq:
+        ``(T,)`` squared distances of the returned solutions (``inf``
+        where not found).
+    counters:
+        Complexity tallies aggregated over the whole batch.  They satisfy
+        the paper's accounting exactly: each field equals the *sum* of the
+        per-vector scalar counters (Figs. 14-15 depend on this).
+    """
+
+    found: np.ndarray
+    symbol_indices: np.ndarray
+    symbols: np.ndarray
+    distances_sq: np.ndarray
+    counters: ComplexityCounters
+
+    def __len__(self) -> int:
+        return int(self.found.shape[0])
+
+
+def as_batch_matrix(batch, num_streams: int, name: str) -> np.ndarray:
+    """Validate a ``(T, nc)`` batch of observations."""
+    array = np.asarray(batch, dtype=np.complex128)
+    require(array.ndim == 2,
+            f"{name} must be a 2-D (batch, streams) array, got shape "
+            f"{array.shape}")
+    require(array.shape[1] == num_streams,
+            f"{name} has {array.shape[1]} streams per row, expected "
+            f"{num_streams}")
+    return array
+
+
+def qr_decode_block(decoder, channel, received_block) -> BatchDecodeResult:
+    """Factorise ``channel`` once and ``decode_batch`` a ``(T, na)`` block.
+
+    Shared implementation behind every decoder's ``decode_block``: one QR
+    per (channel, frame), then the whole block rotated into the
+    triangular domain in a single matmul.
+    """
+    block = np.asarray(received_block, dtype=np.complex128)
+    require(block.ndim == 2 and block.shape[1] == channel.shape[0],
+            f"received block must be (T, {channel.shape[0]})")
+    q, r = triangularize(channel)
+    return decoder.decode_batch(r, block @ np.conj(q))
+
+
+def batched_axis_orders(coordinates: np.ndarray, levels: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Zigzag-order one PAM axis for many nodes at once.
+
+    ``coordinates`` is a 1-D real array of received coordinates (one per
+    node); ``levels`` the shared PAM amplitude levels.  Returns
+    ``(order, residual_sq)``, both of shape ``(N, side)``:
+
+    * ``order[n, p]`` — the level index of node ``n``'s p-th closest
+      level, in exactly the order :func:`zigzag_indices` yields it;
+    * ``residual_sq[n, p]`` — ``(levels[order[n, p]] - coordinates[n])**2``.
+
+    Matches the scalar :class:`~repro.sphere.enumerator.AxisOrder`
+    bit-for-bit (same slice, same preferred direction, same arithmetic).
+    """
+    coordinates = np.asarray(coordinates, dtype=np.float64)
+    side = levels.shape[0]
+    scale = float(levels[1] - levels[0]) / 2.0 if side > 1 else 1.0
+    starts = slice_to_index(coordinates, side, scale)
+    prefer_positive = coordinates >= levels[starts]
+
+    # The zigzag visits start, start+d, start-d, start+2d, ... with
+    # out-of-range candidates skipped.  Build the full +/- delta template
+    # once, flip its sign where the walk prefers the negative side, then
+    # stably compact the in-range candidates to the front of each row.
+    steps = np.arange(2 * side - 1)
+    template = np.where(steps % 2 == 1, (steps + 1) // 2, -(steps // 2))
+    template[0] = 0
+    sign = np.where(prefer_positive, 1, -1)
+    candidates = starts[:, None] + sign[:, None] * template[None, :]
+    out_of_range = (candidates < 0) | (candidates >= side)
+    # Stable argsort of the boolean mask keeps in-range candidates in
+    # template order; exactly ``side`` of them exist per row.
+    keep = np.argsort(out_of_range, axis=1, kind="stable")[:, :side]
+    order = np.take_along_axis(candidates, keep, axis=1)
+    residuals = levels[order] - coordinates[:, None]
+    return order, residuals * residuals

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..constellation.qam import QamConstellation
 from ..utils.validation import as_complex_vector, require
+from .batch import BatchDecodeResult, as_batch_matrix, qr_decode_block
 from .counters import ComplexityCounters
 from .enumerator import NodeEnumerator
 from .exhaustive import ExhaustiveEnumerator
@@ -134,17 +135,27 @@ class SphereDecoder:
         self._pruner = GeometricPruner(constellation) if geometric_pruning else None
 
     # ------------------------------------------------------------------
-    def _make_enumerator(self, received: complex,
-                         counters: ComplexityCounters) -> NodeEnumerator:
+    def _enumerator_factory(self):
+        """Resolve the enumerator dispatch once per decode (or batch).
+
+        The search instantiates one enumerator per expanded node; hoisting
+        the string comparison (and the pruner lookup) out of that hot path
+        is part of the batch API's shared-preprocessing contract.
+        """
+        constellation = self.constellation
         if self.enumerator == "zigzag":
-            return GeosphereEnumerator(self.constellation, received, counters,
-                                       self._pruner)
+            pruner = self._pruner
+            return lambda received, counters: GeosphereEnumerator(
+                constellation, received, counters, pruner)
         if self.enumerator == "shabany":
-            return ShabanyEnumerator(self.constellation, received, counters,
-                                     self._pruner)
+            pruner = self._pruner
+            return lambda received, counters: ShabanyEnumerator(
+                constellation, received, counters, pruner)
         if self.enumerator == "hess":
-            return HessEnumerator(self.constellation, received, counters)
-        return ExhaustiveEnumerator(self.constellation, received, counters)
+            return lambda received, counters: HessEnumerator(
+                constellation, received, counters)
+        return lambda received, counters: ExhaustiveEnumerator(
+            constellation, received, counters)
 
     # ------------------------------------------------------------------
     def decode(self, channel, received) -> SphereDecoderResult:
@@ -181,11 +192,61 @@ class SphereDecoder:
         subcarrier's channel once per frame and then decode many symbol
         vectors against the same ``R``.
         """
+        diag = np.real(np.diag(r)).copy()
+        return self._search(r, y_hat, diag, diag * diag,
+                            self._enumerator_factory())
+
+    def decode_batch(self, r: np.ndarray,
+                     y_hat_batch: np.ndarray) -> BatchDecodeResult:
+        """Decode a ``(T, nc)`` batch of observations against one ``R``.
+
+        The depth-first search has data-dependent control flow per vector,
+        so the batch driver runs the *identical* scalar search per row but
+        shares everything observation-independent across the batch: the
+        diagonal scalings, the enumerator dispatch (and through it the
+        geometric-pruning table), and the counter aggregation.  Results
+        are therefore bit-identical to per-vector
+        :meth:`decode_triangular` calls, and the aggregated counters equal
+        the sum of the per-vector counters exactly.
+        """
+        num_streams = r.shape[1]
+        batch = as_batch_matrix(y_hat_batch, num_streams, "y_hat_batch")
+        diag = np.real(np.diag(r)).copy()
+        diag_sq = diag * diag
+        factory = self._enumerator_factory()
+
+        num_vectors = batch.shape[0]
+        found = np.empty(num_vectors, dtype=bool)
+        indices = np.empty((num_vectors, num_streams), dtype=np.int64)
+        symbols = np.empty((num_vectors, num_streams), dtype=np.complex128)
+        distances = np.empty(num_vectors, dtype=np.float64)
+        totals = ComplexityCounters()
+        for t in range(num_vectors):
+            result = self._search(r, batch[t], diag, diag_sq, factory)
+            found[t] = result.found
+            indices[t] = result.symbol_indices
+            symbols[t] = result.symbols
+            distances[t] = result.distance_sq
+            totals.merge(result.counters)
+        return BatchDecodeResult(found=found, symbol_indices=indices,
+                                 symbols=symbols, distances_sq=distances,
+                                 counters=totals)
+
+    def decode_block(self, channel, received_block) -> BatchDecodeResult:
+        """Factorise ``channel`` once and :meth:`decode_batch` a block.
+
+        ``received_block`` is ``(T, na)`` — one received vector per row.
+        This is the per-frame OFDM entry point: one QR per subcarrier per
+        frame, every symbol vector of the frame decoded against it.
+        """
+        return qr_decode_block(self, channel, received_block)
+
+    def _search(self, r: np.ndarray, y_hat: np.ndarray, diag: np.ndarray,
+                diag_sq: np.ndarray, make_enumerator) -> SphereDecoderResult:
+        """One depth-first search with all shared state hoisted."""
         num_streams = r.shape[1]
         levels = self.constellation.levels
         counters = ComplexityCounters()
-        diag = np.real(np.diag(r)).copy()
-        diag_sq = diag * diag
 
         radius_sq = self.initial_radius_sq
         best_cols = np.full(num_streams, -1, dtype=np.int64)
@@ -201,7 +262,7 @@ class SphereDecoder:
         counters.expanded_nodes += 1
         # Stack of (level, parent_distance, enumerator).
         stack: list[tuple[int, float, NodeEnumerator]] = [
-            (top, 0.0, self._make_enumerator(root_point, counters))
+            (top, 0.0, make_enumerator(root_point, counters))
         ]
 
         node_budget = self.node_budget
@@ -235,7 +296,7 @@ class SphereDecoder:
                                      / diag[next_level])
             counters.expanded_nodes += 1
             stack.append((next_level, distance,
-                          self._make_enumerator(received_point, counters)))
+                          make_enumerator(received_point, counters)))
 
         counters.complex_mults = counters.ped_calcs * (num_streams + 1)
         found = bool(np.isfinite(best_distance))

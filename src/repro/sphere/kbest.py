@@ -14,6 +14,15 @@ control policy".  The paper's criticisms, all observable here:
 The per-level candidate expansion reuses Geosphere's zigzag enumerator,
 so each survivor enumerates children lazily instead of expanding all
 ``|O|`` branches; sorting across survivors still dominates.
+
+Because every survivor expands in lockstep (no sphere constraint, no
+data-dependent backtracking), K-best vectorises cleanly:
+:meth:`KBestDecoder.decode_batch` runs a whole ``(T, nc)`` block of
+observations through numpy array ops — the hot path of the batched OFDM
+receiver — and is bit-identical to the scalar path, counters included.
+The scalar path therefore accumulates interference column-by-column (not
+via ``@``): BLAS dot products and sequential accumulation differ in the
+last ulp, and the equivalence contract is exact equality.
 """
 
 from __future__ import annotations
@@ -24,6 +33,12 @@ import numpy as np
 
 from ..constellation.qam import QamConstellation
 from ..utils.validation import as_complex_vector, require
+from .batch import (
+    BatchDecodeResult,
+    as_batch_matrix,
+    batched_axis_orders,
+    qr_decode_block,
+)
 from .counters import ComplexityCounters
 from .decoder import SphereDecoderResult
 from .qr import triangularize
@@ -67,9 +82,15 @@ class KBestDecoder:
         for level in range(num_streams - 1, -1, -1):
             candidates: list[_Survivor] = []
             for survivor in survivors:
-                interference = complex(
-                    r[level, level + 1:] @ np.asarray(survivor.symbols[::-1])
-                ) if survivor.symbols else 0.0
+                # Accumulate column-by-column (ascending), multiplying via
+                # the ufunc: numpy's scalar-fast-path complex multiply is
+                # not bit-identical to the array loop, and the batch path's
+                # vectorised accumulation must match exactly.
+                interference = 0.0 + 0.0j
+                for offset in range(len(survivor.symbols)):
+                    interference = interference + np.multiply(
+                        r[level, level + 1 + offset],
+                        survivor.symbols[-1 - offset])
                 point = complex((y_hat[level] - interference) / diag[level])
                 counters.expanded_nodes += 1
                 enumerator = GeosphereEnumerator(self.constellation, point,
@@ -104,3 +125,137 @@ class KBestDecoder:
                                    symbols=self.constellation.points[indices],
                                    distance_sq=float(best.distance),
                                    counters=counters)
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+    def decode_batch(self, r: np.ndarray,
+                     y_hat_batch: np.ndarray) -> BatchDecodeResult:
+        """Decode a ``(T, nc)`` batch of observations against one ``R``.
+
+        Fully vectorised across the batch *and* survivor axes: every
+        batch element keeps the same survivor count at each level, so the
+        expansion is a dense ``(T, W, m)`` tensor operation.  The child
+        ordering reproduces the scalar zigzag enumerator exactly — stable
+        sort by distance with position-space tie-breaking — and the
+        complexity counters replay the lazy enumerator's accounting in
+        closed form, so the aggregate equals the sum of per-vector scalar
+        counters bit-for-bit.
+        """
+        num_streams = r.shape[1]
+        batch = as_batch_matrix(y_hat_batch, num_streams, "y_hat_batch")
+        num_vectors = batch.shape[0]
+        constellation = self.constellation
+        levels = constellation.levels
+        side = levels.shape[0]
+        counters = ComplexityCounters()
+        if num_vectors == 0:
+            return BatchDecodeResult(
+                found=np.zeros(0, dtype=bool),
+                symbol_indices=np.zeros((0, num_streams), dtype=np.int64),
+                symbols=np.zeros((0, num_streams), dtype=np.complex128),
+                distances_sq=np.zeros(0, dtype=np.float64),
+                counters=counters)
+        diag = np.real(np.diag(r))
+        diag_sq = diag * diag
+        k = self.k
+        # Children taken per expanded node: the scalar loop requests K
+        # candidates and the zigzag enumerator runs dry after |O|.
+        per_node = min(k, side * side)
+
+        # Survivor state, top level first along the path axis.
+        distances = np.zeros((num_vectors, 1), dtype=np.float64)
+        cols = np.zeros((num_vectors, 1, 0), dtype=np.int64)
+        rows = np.zeros((num_vectors, 1, 0), dtype=np.int64)
+        symbols = np.zeros((num_vectors, 1, 0), dtype=np.complex128)
+
+        for level in range(num_streams - 1, -1, -1):
+            width = distances.shape[1]
+            # Interference of the already-decided upper levels, accumulated
+            # column-by-column in the same order as the scalar path.
+            # symbols[..., d] holds the symbol of level num_streams-1-d.
+            acc = np.zeros((num_vectors, width), dtype=np.complex128)
+            for offset in range(num_streams - 1 - level):
+                acc = acc + (r[level, level + 1 + offset]
+                             * symbols[:, :, -1 - offset])
+            points = (batch[:, level][:, None] - acc) / diag[level]
+
+            counters.expanded_nodes += num_vectors * width
+            flat_points = points.reshape(-1)
+            order_i, residual_i = batched_axis_orders(flat_points.real, levels)
+            order_q, residual_q = batched_axis_orders(flat_points.imag, levels)
+            # Child distances over the (col, row) position grid, flattened
+            # in (i * side + j) order so a stable argsort reproduces the
+            # enumerator's (distance, i, j) pop order.
+            grid = (residual_i[:, :, None]
+                    + residual_q[:, None, :]).reshape(-1, side * side)
+            best_positions = np.argsort(grid, axis=1,
+                                        kind="stable")[:, :per_node]
+            position_i = best_positions // side
+            position_j = best_positions % side
+            child_dist = np.take_along_axis(grid, best_positions, axis=1)
+
+            counters.visited_nodes += num_vectors * width * per_node
+            # Lazy-enumerator PED accounting, replayed in closed form: one
+            # calculation to seed each node's frontier, plus one per
+            # in-bounds zigzag proposal made while dequeuing the first
+            # per_node-1 children (the last child's successors are never
+            # evaluated before the scalar loop stops asking).
+            counters.ped_calcs += num_vectors * width
+            if per_node > 1:
+                lead_i = position_i[:, : per_node - 1]
+                lead_j = position_j[:, : per_node - 1]
+                proposals = ((lead_j + 1 < side).astype(np.int64)
+                             + ((lead_j == 0) & (lead_i + 1 < side)))
+                counters.ped_calcs += int(proposals.sum())
+
+            child_cols = np.take_along_axis(order_i, position_i, axis=1)
+            child_rows = np.take_along_axis(order_q, position_j, axis=1)
+            child_symbols = levels[child_cols] + 1j * levels[child_rows]
+
+            # Total path distances, flattened survivor-major so ties keep
+            # the scalar candidate list's insertion order under the stable
+            # sort below.
+            total = (distances[:, :, None]
+                     + diag_sq[level] * child_dist.reshape(
+                         num_vectors, width, per_node)
+                     ).reshape(num_vectors, width * per_node)
+            new_width = min(k, width * per_node)
+            keep = np.argsort(total, axis=1, kind="stable")[:, :new_width]
+            parents = keep // per_node
+
+            distances = np.take_along_axis(total, keep, axis=1)
+            kept_cols = np.take_along_axis(
+                child_cols.reshape(num_vectors, -1), keep, axis=1)
+            kept_rows = np.take_along_axis(
+                child_rows.reshape(num_vectors, -1), keep, axis=1)
+            kept_symbols = np.take_along_axis(
+                child_symbols.reshape(num_vectors, -1), keep, axis=1)
+            parent_index = parents[:, :, None]
+            cols = np.concatenate(
+                [np.take_along_axis(cols, parent_index, axis=1),
+                 kept_cols[:, :, None]], axis=2)
+            rows = np.concatenate(
+                [np.take_along_axis(rows, parent_index, axis=1),
+                 kept_rows[:, :, None]], axis=2)
+            symbols = np.concatenate(
+                [np.take_along_axis(symbols, parent_index, axis=1),
+                 kept_symbols[:, :, None]], axis=2)
+
+        counters.leaves += num_vectors * distances.shape[1]
+        counters.complex_mults = counters.ped_calcs * (num_streams + 1)
+        # Row 0 of each batch element is the lowest-distance survivor; its
+        # path is stored top level first, so flip to stream order.
+        best_cols = cols[:, 0, ::-1]
+        best_rows = rows[:, 0, ::-1]
+        indices = constellation.index_of(best_cols, best_rows)
+        return BatchDecodeResult(
+            found=np.ones(num_vectors, dtype=bool),
+            symbol_indices=indices,
+            symbols=constellation.points[indices],
+            distances_sq=distances[:, 0].copy(),
+            counters=counters)
+
+    def decode_block(self, channel, received_block) -> BatchDecodeResult:
+        """Factorise ``channel`` once and :meth:`decode_batch` a block."""
+        return qr_decode_block(self, channel, received_block)

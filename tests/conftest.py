@@ -1,0 +1,18 @@
+"""Shared pytest configuration for the test suite.
+
+Registers the ``slow`` marker used by the long randomized equivalence
+sweeps so CI (and impatient humans) can deselect them with::
+
+    pytest -m "not slow"
+
+The full suite, slow sweeps included, remains the tier-1 gate.
+"""
+
+from __future__ import annotations
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long randomized equivalence sweeps; deselect with "
+        "-m \"not slow\"")

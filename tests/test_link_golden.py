@@ -1,0 +1,75 @@
+"""Seeded golden regression for the link simulator.
+
+The batched receive rework (``simulate_frame`` → ``detect_uplink`` →
+``detect_batch``) must not silently change link-level results.  These
+goldens pin a fixed-seed short run — frame error rate, net throughput and
+the full complexity-counter totals — so any change to the receive chain's
+arithmetic, detection order or counter accounting shows up as a hard
+failure rather than a drifting benchmark.
+
+The counter goldens are exact integers; the rate metrics are floats
+asserted to near machine precision.  If an *intentional* change to the
+receive chain alters these numbers, re-derive the goldens with the
+script embedded in each test (seeds 2024/7) and say so in the commit.
+"""
+
+import numpy as np
+
+from repro.detect import SphereDetector, ZeroForcingDetector
+from repro.phy import LinkSimulator, default_config, rayleigh_source
+from repro.sphere import geosphere_decoder
+
+
+def _run(detector_factory, snr_db):
+    config = default_config(order=16, payload_bits=256)
+    detector = detector_factory(config.constellation)
+    simulator = LinkSimulator(detector, config, snr_db=snr_db)
+    return simulator.run(rayleigh_source(4, 4, rng=2024), num_frames=4, rng=7)
+
+
+class TestGeosphereGolden:
+    """16-QAM, 4 clients on 4 antennas, 11 dB, 4 frames, seeds (2024, 7)."""
+
+    def _stats(self):
+        return _run(lambda c: SphereDetector(geosphere_decoder(c)), 11.0)
+
+    def test_frame_statistics(self):
+        stats = self._stats()
+        assert stats.frames == 4
+        assert stats.stream_frames == 16
+        assert stats.stream_successes == 3
+        assert stats.detections == 768
+        assert stats.frame_error_rate == 0.8125
+        assert stats.delivered_info_bits == 768.0
+        np.testing.assert_allclose(stats.airtime_s, 6.4e-05, rtol=1e-12)
+        np.testing.assert_allclose(stats.throughput_bps, 12_000_000.0,
+                                   rtol=1e-12)
+
+    def test_counter_totals(self):
+        stats = self._stats()
+        assert stats.has_counters
+        counters = stats.counters
+        assert counters.ped_calcs == 46_777
+        assert counters.visited_nodes == 22_151
+        assert counters.expanded_nodes == 20_819
+        assert counters.leaves == 2_100
+        assert counters.geometric_prunes == 9_294
+        assert counters.complex_mults == 233_885
+        # Derived metric used by the Figs. 14-15 reproduction.
+        np.testing.assert_allclose(stats.avg_ped_calcs_per_detection,
+                                   46_777 / 768, rtol=1e-12)
+
+
+class TestZeroForcingGolden:
+    """Same channels and seeds through the linear path (no counters)."""
+
+    def test_frame_statistics(self):
+        stats = _run(ZeroForcingDetector, 11.0)
+        assert stats.frames == 4
+        assert stats.stream_frames == 16
+        assert not stats.has_counters
+        assert np.isnan(stats.avg_ped_calcs_per_detection)
+        # ZF on an i.i.d. 4x4 channel at 11 dB delivers nothing: the
+        # noise amplification the paper opens with.
+        assert stats.stream_successes == 0
+        assert stats.throughput_bps == 0.0
