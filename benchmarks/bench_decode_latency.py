@@ -16,6 +16,7 @@ from repro.channel import awgn, noise_variance_for_snr, rayleigh_channel
 from repro.constellation import qam
 from repro.sphere import (
     KBestDecoder,
+    SphereDecoder,
     eth_sd_decoder,
     geosphere_decoder,
     geosphere_zigzag_only,
@@ -130,8 +131,8 @@ def test_kbest_batch_speedup(benchmark):
 
 @pytest.mark.parametrize("decoder_kind", sorted(FACTORIES))
 def test_sphere_batch_vs_scalar(benchmark, decoder_kind):
-    """Depth-first decoders share preprocessing across the batch; report
-    the (modest) amortisation alongside the batch latency."""
+    """Depth-first decoders run the breadth-synchronised frontier engine
+    through ``decode_batch``; report its speedup over the scalar loop."""
     r, y_hat = _fixed_block(16, 4, 4, SUBCARRIERS, snr_db=20.0)
     decoder = FACTORIES[decoder_kind](qam(16))
 
@@ -144,3 +145,37 @@ def test_sphere_batch_vs_scalar(benchmark, decoder_kind):
     benchmark.extra_info["batch_s"] = batch_s
     benchmark.extra_info["speedup"] = scalar_s / batch_s
     benchmark.extra_info["ped_calcs"] = result.counters.ped_calcs
+
+
+def test_sphere_frontier_vs_loop_speedup(benchmark):
+    """The ISSUE-2 acceptance numbers: breadth-synchronised frontier vs
+    the ``strategy="loop"`` fallback on 16-QAM 4x4 x 64 subcarriers.
+
+    Both paths are bit-identical (asserted below); the frontier's win is
+    pure scheduling — batched axis orders, vectorised pruning/PED work,
+    scalar drain for the straggler tail.  Measured on the reference
+    machine: ~5x at 20 dB and ~6.5x at the 22 dB operating point timed
+    here, against a ~1x loop baseline before this engine existed.  The
+    assertion floor is 3x so noisy CI runners cannot flake the suite;
+    the recorded ``speedup`` in extra_info carries the real number.
+    """
+    r, y_hat = _fixed_block(16, 4, 4, SUBCARRIERS, snr_db=22.0)
+    loop = SphereDecoder(qam(16), batch_strategy="loop")
+    frontier = SphereDecoder(qam(16), batch_strategy="frontier")
+
+    loop_result = loop.decode_batch(r, y_hat)
+    result = benchmark(frontier.decode_batch, r, y_hat)
+    assert np.array_equal(result.symbol_indices, loop_result.symbol_indices)
+    assert np.array_equal(result.distances_sq, loop_result.distances_sq)
+    assert result.counters.ped_calcs == loop_result.counters.ped_calcs
+    assert result.counters.visited_nodes == loop_result.counters.visited_nodes
+
+    loop_s = _best_of(lambda: loop.decode_batch(r, y_hat))
+    frontier_s = _best_of(lambda: frontier.decode_batch(r, y_hat))
+    speedup = loop_s / frontier_s
+    benchmark.extra_info["loop_s"] = loop_s
+    benchmark.extra_info["frontier_s"] = frontier_s
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 3.0, (
+        f"frontier speedup {speedup:.1f}x below the 3x floor "
+        f"(loop {loop_s * 1e3:.1f} ms, frontier {frontier_s * 1e3:.1f} ms)")

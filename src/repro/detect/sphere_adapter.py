@@ -6,8 +6,13 @@ adapter wraps anything with the sphere-decoder calling convention —
 :class:`~repro.sphere.decoder.SphereDecoder` and
 :class:`~repro.sphere.kbest.KBestDecoder` both qualify — and routes block
 detection through the decoder's ``decode_block`` batch entry point, so
-the QR factorisation happens once per (channel, frame) and the K-best
-path runs fully vectorised.
+the QR factorisation happens once per (channel, frame), the K-best path
+runs fully vectorised, and the depth-first path runs the
+breadth-synchronised frontier engine
+(:mod:`repro.sphere.batch_search`) — or the scalar row loop when the
+decoder was built with ``batch_strategy="loop"``.  Receivers upstream
+(``detect_uplink``, ``simulate_frame``) need no call-site changes to
+pick either engine up.
 """
 
 from __future__ import annotations

@@ -4,8 +4,10 @@ chain.
 The front half (:func:`detect_uplink`) drives the detector's batch API:
 each subcarrier's channel is handed the *full* block of OFDM-symbol
 observations in one ``detect_batch`` call, so per-channel preprocessing is
-paid once per frame and the paper's complexity counters aggregate across
-the batch.  The back half turns the resulting hard symbol indices per
+paid once per frame, sphere detection runs the breadth-synchronised
+frontier engine across the block (see
+:mod:`repro.sphere.batch_search`), and the paper's complexity counters
+aggregate across the batch.  The back half turns the resulting hard symbol indices per
 (OFDM symbol, subcarrier, stream) into per-stream payloads and CRC
 verdicts.  Frame success is judged exactly the way real link layers judge
 it — by the frame check sequence — never by comparing against the

@@ -10,10 +10,14 @@ Public surface:
   the paper;
 * :class:`ComplexityCounters` — the PED-calculation / visited-node
   accounting behind Figs. 14-15;
-* :class:`GeometricPruner` — the table-driven branch lower bound.
+* :class:`GeometricPruner` — the table-driven branch lower bound;
+* :func:`frontier_decode_batch` — the breadth-synchronised batched
+  engine behind ``SphereDecoder.decode_batch`` (strategy ``"frontier"``),
+  with the scalar row loop kept as the ``"loop"`` fallback.
 """
 
-from .batch import BatchDecodeResult, batched_axis_orders
+from .batch import BatchDecodeResult, batched_axis_orders, zigzag_order_table
+from .batch_search import FRONTIER_MIN_BATCH, frontier_decode_batch
 from .counters import ComplexityCounters
 from .decoder import (
     SphereDecoder,
@@ -46,6 +50,7 @@ __all__ = [
     "Candidate",
     "ComplexityCounters",
     "ExhaustiveEnumerator",
+    "FRONTIER_MIN_BATCH",
     "FixedComplexityDecoder",
     "GeometricPruner",
     "GeosphereEnumerator",
@@ -58,6 +63,7 @@ __all__ = [
     "SphereDecoderResult",
     "batched_axis_orders",
     "build_axes",
+    "frontier_decode_batch",
     "eth_sd_decoder",
     "exhaustive_distance_count",
     "exhaustive_se_decoder",
@@ -68,4 +74,5 @@ __all__ = [
     "shabany_decoder",
     "triangularize",
     "worst_case_ped_calcs",
+    "zigzag_order_table",
 ]

@@ -35,13 +35,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..constellation.pam import slice_to_index
+from ..constellation.pam import zigzag_indices
 from ..utils.validation import require
 from .counters import ComplexityCounters
 from .qr import triangularize
 
 __all__ = ["BatchDecodeResult", "batched_axis_orders", "as_batch_matrix",
-           "qr_decode_block"]
+           "qr_decode_block", "zigzag_order_table"]
 
 
 @dataclass
@@ -103,6 +103,33 @@ def qr_decode_block(decoder, channel, received_block) -> BatchDecodeResult:
     return decoder.decode_batch(r, block @ np.conj(q))
 
 
+#: Cached zigzag order tables, one per PAM side.  The 1-D zigzag walk
+#: depends only on the sliced start index and the preferred direction —
+#: ``2 * side`` possibilities — so the whole ordering is a table lookup.
+_ZIGZAG_ORDERS: dict[int, np.ndarray] = {}
+
+
+def zigzag_order_table(side: int) -> np.ndarray:
+    """``(side, 2, side)`` table of every 1-D zigzag ordering.
+
+    ``table[start, int(prefer_positive)]`` is exactly the sequence
+    :func:`repro.constellation.pam.zigzag_indices` yields — the table is
+    materialised *from that generator*, so the correspondence is by
+    construction, not by re-implementation.
+    """
+    table = _ZIGZAG_ORDERS.get(side)
+    if table is None:
+        table = np.empty((side, 2, side), dtype=np.int64)
+        for start in range(side):
+            for prefer_positive in (False, True):
+                table[start, int(prefer_positive)] = np.fromiter(
+                    zigzag_indices(start, side, prefer_positive),
+                    dtype=np.int64, count=side)
+        table.setflags(write=False)
+        _ZIGZAG_ORDERS[side] = table
+    return table
+
+
 def batched_axis_orders(coordinates: np.ndarray, levels: np.ndarray
                         ) -> tuple[np.ndarray, np.ndarray]:
     """Zigzag-order one PAM axis for many nodes at once.
@@ -117,26 +144,18 @@ def batched_axis_orders(coordinates: np.ndarray, levels: np.ndarray
 
     Matches the scalar :class:`~repro.sphere.enumerator.AxisOrder`
     bit-for-bit (same slice, same preferred direction, same arithmetic).
+    This sits on the frontier engine's per-tick hot path, so the slicing
+    arithmetic of :func:`~repro.constellation.pam.slice_to_index` is
+    inlined in its cheapest operation-equivalent form (``rint`` is
+    ``round`` at zero decimals, ``minimum``/``maximum`` are ``clip``) and
+    the walk itself is one gather from :func:`zigzag_order_table`.
     """
     coordinates = np.asarray(coordinates, dtype=np.float64)
     side = levels.shape[0]
     scale = float(levels[1] - levels[0]) / 2.0 if side > 1 else 1.0
-    starts = slice_to_index(coordinates, side, scale)
+    sliced = np.rint((coordinates / scale + (side - 1)) / 2.0)
+    starts = np.maximum(np.minimum(sliced, side - 1), 0).astype(np.int64)
     prefer_positive = coordinates >= levels[starts]
-
-    # The zigzag visits start, start+d, start-d, start+2d, ... with
-    # out-of-range candidates skipped.  Build the full +/- delta template
-    # once, flip its sign where the walk prefers the negative side, then
-    # stably compact the in-range candidates to the front of each row.
-    steps = np.arange(2 * side - 1)
-    template = np.where(steps % 2 == 1, (steps + 1) // 2, -(steps // 2))
-    template[0] = 0
-    sign = np.where(prefer_positive, 1, -1)
-    candidates = starts[:, None] + sign[:, None] * template[None, :]
-    out_of_range = (candidates < 0) | (candidates >= side)
-    # Stable argsort of the boolean mask keeps in-range candidates in
-    # template order; exactly ``side`` of them exist per row.
-    keep = np.argsort(out_of_range, axis=1, kind="stable")[:, :side]
-    order = np.take_along_axis(candidates, keep, axis=1)
+    order = zigzag_order_table(side)[starts, prefer_positive.view(np.int8)]
     residuals = levels[order] - coordinates[:, None]
     return order, residuals * residuals

@@ -1,0 +1,833 @@
+"""Breadth-synchronised batched depth-first sphere search.
+
+The scalar engine in :mod:`repro.sphere.decoder` walks one tree at a
+time; its batch driver (``strategy="loop"``) therefore pays the full
+Python interpreter cost per tree node *per observation*.  This module
+replaces that loop with a **frontier engine**: all ``T`` observations of
+a subcarrier block advance through their depth-first searches in
+lockstep, one tree-node step per engine tick, with every per-step
+computation — Schnorr–Euchner child ordering (via
+:func:`repro.sphere.batch.batched_axis_orders`), partial-distance
+evaluation, geometric-pruning table lookups, radius pruning and
+interference cancellation — expressed as numpy array ops over the batch
+of *active* searches.
+
+Because each observation's search is independent, running them in
+lockstep changes nothing about any individual search: every element
+executes exactly the scalar state machine, so symbol decisions,
+distances, ``found`` flags and per-element
+:class:`~repro.sphere.counters.ComplexityCounters` are bit-identical to
+per-vector :meth:`~repro.sphere.decoder.SphereDecoder.decode_triangular`
+calls (the contract ``tests/test_batch_search.py`` enforces).  The
+floating-point program is kept operation-for-operation equal to the
+scalar path: residuals come from ``batched_axis_orders`` (already
+bit-exact), candidate and path distances are plain elementwise real
+arithmetic, and interference accumulates column-by-column through the
+complex-multiply ufunc — the same convention the scalar search and the
+K-best batch path use, because BLAS dots and numpy's scalar fast path
+differ from the ufunc loop in the last ulp.
+
+Enumerator kernels
+------------------
+Each scalar child enumerator has a vectorised *kernel* holding its state
+for every (observation, tree level) slot as flat arrays:
+
+* ``zigzag`` — Geosphere's lazy 2-D zigzag: a bounded per-slot frontier
+  array replaces the heap (pop = lexicographic ``(distance, i, j)``
+  minimum, matching ``heapq`` tuple order), with deferred successor
+  proposals and optional geometric-pruning table lookups;
+* ``shabany`` — the same frontier plus the seen-set and the second
+  (horizontal) successor proposal;
+* ``hess`` — ETH-SD's row-parallel 1-D zigzag: per-row position and
+  distance arrays, refill-on-demand;
+* ``exhaustive`` — compute-all-then-stable-argsort, cursor per slot.
+
+Straggler drain
+---------------
+Sphere-search complexity is heavy-tailed: a few ill-placed observations
+can need many more steps than the rest, and ticking the whole machinery
+for a near-empty frontier wastes the vectorisation win.  When the active
+set shrinks to ``drain_threshold`` elements, the engine *reconstructs*
+each survivor's scalar enumerator objects from the kernel arrays and
+hands the half-finished search to
+:meth:`SphereDecoder._continue_search` — the very loop body the scalar
+path runs — so the tail finishes at scalar speed with bit-identical
+results and counters.
+
+The scalar row-by-row driver remains available as
+``SphereDecoder(..., batch_strategy="loop")`` and is the differential
+baseline for the equivalence tests and the latency benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .batch import BatchDecodeResult, as_batch_matrix, batched_axis_orders
+from .counters import ComplexityCounters
+from .enumerator import AxisOrder, Candidate
+from .exhaustive import ExhaustiveEnumerator
+from .hess import HessEnumerator
+from .shabany import ShabanyEnumerator
+from .zigzag import GeosphereEnumerator
+
+__all__ = ["frontier_decode_batch", "FRONTIER_MIN_BATCH"]
+
+#: Below this batch size the array-op machinery costs more than the plain
+#: scalar loop (measured on 16-QAM 4x4: parity at 4 observations, a clear
+#: frontier win by 8), so ``SphereDecoder.decode_batch`` falls back to the
+#: loop driver — both paths are bit-identical, this is purely a latency
+#: heuristic.
+FRONTIER_MIN_BATCH = 5
+
+
+def _rebuild_axis(indices: np.ndarray, residual_sq: np.ndarray,
+                  size: int) -> AxisOrder:
+    """Materialise an :class:`AxisOrder` from kernel state arrays.
+
+    The rows stay views — once an element leaves the lockstep frontier
+    nothing writes its slots again.  ``indices[0]`` is the sliced start
+    level (the zigzag begins there), so the pruning offsets are
+    recomputed exactly as the scalar constructor does.
+    """
+    axis = AxisOrder.__new__(AxisOrder)
+    axis.indices = indices
+    axis.residual_sq = residual_sq
+    axis.offsets = np.abs(indices - indices[0])
+    axis.size = size
+    return axis
+
+
+class _KernelBase:
+    """Axis-order state shared by every enumerator kernel.
+
+    State lives in flat ``(num_slots, ...)`` arrays indexed by
+    ``slot = element * num_streams + level`` — one slot per (observation,
+    tree level) pair, matching the one-enumerator-per-stack-entry shape
+    of the scalar search.
+    """
+
+    def __init__(self, num_slots: int, side: int, levels: np.ndarray,
+                 ped: np.ndarray, prunes: np.ndarray) -> None:
+        self.side = side
+        self.levels = levels
+        self.ped = ped
+        self.prunes = prunes
+        self.ord_i = np.zeros((num_slots, side), dtype=np.int64)
+        self.res_i = np.zeros((num_slots, side), dtype=np.float64)
+        self.ord_q = np.zeros((num_slots, side), dtype=np.int64)
+        self.res_q = np.zeros((num_slots, side), dtype=np.float64)
+        self._iota = np.arange(num_slots, dtype=np.int64)
+
+    def init_axes(self, slots: np.ndarray, points: np.ndarray) -> None:
+        """Zigzag-order both PAM axes for freshly expanded nodes.
+
+        The I and Q coordinates go through one fused
+        ``batched_axis_orders`` call (rows are independent, so stacking
+        them is exact) to halve the per-tick call overhead.
+        """
+        count = points.shape[0]
+        coordinates = np.concatenate([points.real, points.imag])
+        order, residual = batched_axis_orders(coordinates, self.levels)
+        self.ord_i[slots] = order[:count]
+        self.res_i[slots] = residual[:count]
+        self.ord_q[slots] = order[count:]
+        self.res_q[slots] = residual[count:]
+
+    def _axes(self, slot: int) -> tuple[AxisOrder, AxisOrder]:
+        return (_rebuild_axis(self.ord_i[slot], self.res_i[slot], self.side),
+                _rebuild_axis(self.ord_q[slot], self.res_q[slot], self.side))
+
+    def _fresh_axes(self, received: complex) -> tuple[AxisOrder, AxisOrder]:
+        """Axes for a *new* scalar enumerator during the straggler drain.
+
+        One fused ``batched_axis_orders`` call replaces the scalar
+        ``build_axes`` (generator-driven) construction — same values,
+        a fraction of the cost, so the drained tail stays cheap.
+        """
+        coordinates = np.array([received.real, received.imag])
+        order, residual = batched_axis_orders(coordinates, self.levels)
+        return (_rebuild_axis(order[0], residual[0], self.side),
+                _rebuild_axis(order[1], residual[1], self.side))
+
+
+class _ZigzagKernel(_KernelBase):
+    """Vectorised :class:`GeosphereEnumerator` (lazy 2-D zigzag).
+
+    The scalar heap becomes a bounded unordered slot array; a pop takes
+    the lexicographic ``(distance, i, j)`` minimum, which is exactly the
+    order ``heapq`` yields for the scalar tuples.  Geosphere's invariant
+    (at most one queued candidate per entered column) bounds occupancy by
+    ``side``; the Shabany subclass widens the bound.
+    """
+
+    #: extra queue slots beyond ``side`` (transient headroom).
+    capacity_slack = 2
+
+    def __init__(self, num_slots: int, side: int, levels: np.ndarray,
+                 ped: np.ndarray, prunes: np.ndarray,
+                 table: np.ndarray | None) -> None:
+        super().__init__(num_slots, side, levels, ped, prunes)
+        self.table = table
+        if table is not None:
+            self.off_i = np.zeros((num_slots, side), dtype=np.int64)
+            self.off_q = np.zeros((num_slots, side), dtype=np.int64)
+        capacity = self._capacity(side)
+        self.heap_d = np.full((num_slots, capacity), np.inf)
+        self.heap_i = np.zeros((num_slots, capacity), dtype=np.int64)
+        self.heap_j = np.zeros((num_slots, capacity), dtype=np.int64)
+        self.heap_n = np.zeros(num_slots, dtype=np.int64)
+        self._positions = np.arange(capacity, dtype=np.int64)
+        self.last_i = np.zeros(num_slots, dtype=np.int64)
+        self.last_j = np.zeros(num_slots, dtype=np.int64)
+        self.has_last = np.zeros(num_slots, dtype=bool)
+
+    def _capacity(self, side: int) -> int:
+        return side + self.capacity_slack
+
+    def init_axes(self, slots: np.ndarray, points: np.ndarray) -> None:
+        count = points.shape[0]
+        coordinates = np.concatenate([points.real, points.imag])
+        order, residual = batched_axis_orders(coordinates, self.levels)
+        self.ord_i[slots] = order[:count]
+        self.res_i[slots] = residual[:count]
+        self.ord_q[slots] = order[count:]
+        self.res_q[slots] = residual[count:]
+        if self.table is not None:
+            # order[:, 0] is the sliced start, so the pruning offsets of
+            # both axes come from one fused |order - start| pass.
+            offsets = np.abs(order - order[:, :1])
+            self.off_i[slots] = offsets[:count]
+            self.off_q[slots] = offsets[count:]
+
+    def init(self, slots: np.ndarray, elements: np.ndarray,
+             points: np.ndarray) -> None:
+        self.init_axes(slots, points)
+        # Step 2 of the paper's algorithm: enqueue the sliced point; its
+        # lower bound is zero, so it bypasses the pruning check.
+        self.heap_d[slots, 0] = self.res_i[slots, 0] + self.res_q[slots, 0]
+        self.heap_i[slots, 0] = 0
+        self.heap_j[slots, 0] = 0
+        self.heap_n[slots] = 1
+        self.has_last[slots] = False
+        self.ped[elements] += 1
+
+    # -- proposal chain -------------------------------------------------
+    def _admit(self, slots, elements, i, j, budget) -> None:
+        """Prune-check then enqueue in-bounds, unseen proposals.
+
+        Shared tail of both frontier kernels' proposal chains — the
+        geometric-prunes accounting, capacity guard and heap write must
+        stay identical between them, so they live in exactly one place.
+        ``slots`` are unique within one call (each stepping slot proposes
+        a given successor at most once), so plain fancy writes suffice.
+        """
+        if self.table is not None:
+            bound = self.table[self.off_i[slots, i], self.off_q[slots, j]]
+            pruned = bound >= budget
+            if pruned.any():
+                self.prunes[elements[pruned]] += 1
+                keep = ~pruned
+                slots = slots[keep]
+                elements = elements[keep]
+                i = i[keep]
+                j = j[keep]
+                if slots.size == 0:
+                    return
+        self.ped[elements] += 1
+        position = self.heap_n[slots]
+        if (position >= self.heap_d.shape[1]).any():
+            raise RuntimeError("frontier queue capacity exceeded; "
+                               "the enumeration invariant was violated")
+        self.heap_d[slots, position] = (self.res_i[slots, i]
+                                        + self.res_q[slots, j])
+        self.heap_i[slots, position] = i
+        self.heap_j[slots, position] = j
+        self.heap_n[slots] = position + 1
+
+    def _propose(self, slots, elements, i, j, budget) -> None:
+        in_bounds = (i < self.side) & (j < self.side)
+        if not in_bounds.all():
+            slots = slots[in_bounds]
+            elements = elements[in_bounds]
+            i = i[in_bounds]
+            j = j[in_bounds]
+            budget = budget[in_bounds]
+            if slots.size == 0:
+                return
+        self._admit(slots, elements, i, j, budget)
+
+    def _deferred(self, slots, elements, i, j, budget) -> None:
+        """Successors of the previously dequeued point (paper step 3):
+        vertical zigzag always, horizontal only from the column's entry
+        point ``(i, 0)``."""
+        self._propose(slots, elements, i, j + 1, budget)
+        horizontal = j == 0
+        if horizontal.any():
+            self._propose(slots[horizontal], elements[horizontal],
+                          i[horizontal] + 1, j[horizontal], budget[horizontal])
+
+    # -- one next_candidate() per active slot ---------------------------
+    def step(self, slots, elements, budget):
+        deferred = self.has_last[slots]
+        if deferred.all():
+            self.has_last[slots] = False
+            self._deferred(slots, elements, self.last_i[slots],
+                           self.last_j[slots], budget)
+        elif deferred.any():
+            slots_d = slots[deferred]
+            self.has_last[slots_d] = False
+            self._deferred(slots_d, elements[deferred], self.last_i[slots_d],
+                           self.last_j[slots_d], budget[deferred])
+        occupancy = self.heap_n[slots]
+        valid = self._positions < occupancy[:, None]
+        distance = np.where(valid, self.heap_d[slots], np.inf)
+        min_distance = distance.min(axis=1)
+        got = min_distance < budget
+        slots_g = slots[got]
+        if slots_g.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return got, np.zeros(0), empty, empty
+        # Lexicographic (distance, i, j) minimum == heapq tuple order.
+        tie_code = self.heap_i[slots_g] * self.side + self.heap_j[slots_g]
+        tie_code = np.where(distance[got] == min_distance[got][:, None],
+                            tie_code, self.side * self.side)
+        position = tie_code.argmin(axis=1)
+        i_g = self.heap_i[slots_g, position]
+        j_g = self.heap_j[slots_g, position]
+        # Remove the popped entry: swap in the last occupied slot.
+        tail = occupancy[got] - 1
+        self.heap_d[slots_g, position] = self.heap_d[slots_g, tail]
+        self.heap_i[slots_g, position] = self.heap_i[slots_g, tail]
+        self.heap_j[slots_g, position] = self.heap_j[slots_g, tail]
+        self.heap_n[slots_g] = tail
+        self.last_i[slots_g] = i_g
+        self.last_j[slots_g] = j_g
+        self.has_last[slots_g] = True
+        return (got, min_distance[got], self.ord_i[slots_g, i_g],
+                self.ord_q[slots_g, j_g])
+
+    # -- scalar reconstruction for the straggler drain ------------------
+    def _heap_entries(self, slot: int) -> list[tuple[float, int, int]]:
+        entries = [(float(self.heap_d[slot, k]), int(self.heap_i[slot, k]),
+                    int(self.heap_j[slot, k]))
+                   for k in range(int(self.heap_n[slot]))]
+        heapq.heapify(entries)
+        return entries
+
+    def _last_pair(self, slot: int) -> tuple[int, int] | None:
+        if not self.has_last[slot]:
+            return None
+        return (int(self.last_i[slot]), int(self.last_j[slot]))
+
+    def rebuild(self, slot: int, counters: ComplexityCounters):
+        enum = GeosphereEnumerator.__new__(GeosphereEnumerator)
+        enum._axis_i, enum._axis_q = self._axes(slot)
+        enum._heap = self._heap_entries(slot)
+        enum._counters = counters
+        enum._table = self.table
+        enum._last = self._last_pair(slot)
+        return enum
+
+    def fresh(self, received: complex, counters: ComplexityCounters):
+        """Drain-path replacement for the scalar constructor: enqueue the
+        sliced point ``(0, 0)``, count its one PED calculation."""
+        enum = GeosphereEnumerator.__new__(GeosphereEnumerator)
+        enum._axis_i, enum._axis_q = self._fresh_axes(received)
+        counters.ped_calcs += 1
+        enum._heap = [(float(enum._axis_i.residual_sq[0]
+                             + enum._axis_q.residual_sq[0]), 0, 0)]
+        enum._counters = counters
+        enum._table = self.table
+        enum._last = None
+        return enum
+
+
+class _ShabanyKernel(_ZigzagKernel):
+    """Vectorised :class:`ShabanyEnumerator`: both successors proposed,
+    deduplicated with a per-slot seen grid.
+
+    The queued cells form (near-)antichains of the position grid, so the
+    frontier stays O(side); the widened capacity plus the overflow guard
+    in ``_admit`` keeps the bound honest.
+    """
+
+    capacity_slack = 4
+
+    def __init__(self, num_slots, side, levels, ped, prunes, table) -> None:
+        super().__init__(num_slots, side, levels, ped, prunes, table)
+        self.seen = np.zeros((num_slots, side * side), dtype=bool)
+
+    def _capacity(self, side: int) -> int:
+        return 2 * side + self.capacity_slack
+
+    def init(self, slots, elements, points) -> None:
+        super().init(slots, elements, points)
+        self.seen[slots] = False
+        self.seen[slots, 0] = True  # position (0, 0)
+
+    def _propose(self, slots, elements, i, j, budget) -> None:
+        in_bounds = (i < self.side) & (j < self.side)
+        if not in_bounds.all():
+            slots = slots[in_bounds]
+            elements = elements[in_bounds]
+            i = i[in_bounds]
+            j = j[in_bounds]
+            budget = budget[in_bounds]
+            if slots.size == 0:
+                return
+        code = i * self.side + j
+        fresh = ~self.seen[slots, code]
+        if not fresh.all():
+            slots = slots[fresh]
+            elements = elements[fresh]
+            i = i[fresh]
+            j = j[fresh]
+            code = code[fresh]
+            budget = budget[fresh]
+            if slots.size == 0:
+                return
+        # Mark before the pruning check, exactly like the scalar seen-set.
+        self.seen[slots, code] = True
+        self._admit(slots, elements, i, j, budget)
+
+    def _deferred(self, slots, elements, i, j, budget) -> None:
+        # No PAM-sub-constellation rule: both successors, every time.
+        self._propose(slots, elements, i, j + 1, budget)
+        self._propose(slots, elements, i + 1, j, budget)
+
+    def rebuild(self, slot: int, counters: ComplexityCounters):
+        enum = ShabanyEnumerator.__new__(ShabanyEnumerator)
+        enum._axis_i, enum._axis_q = self._axes(slot)
+        enum._heap = self._heap_entries(slot)
+        enum._seen = {(int(p) // self.side, int(p) % self.side)
+                      for p in np.flatnonzero(self.seen[slot])}
+        enum._counters = counters
+        enum._table = self.table
+        enum._last = self._last_pair(slot)
+        return enum
+
+    def fresh(self, received: complex, counters: ComplexityCounters):
+        enum = ShabanyEnumerator.__new__(ShabanyEnumerator)
+        enum._axis_i, enum._axis_q = self._fresh_axes(received)
+        counters.ped_calcs += 1
+        enum._heap = [(float(enum._axis_i.residual_sq[0]
+                             + enum._axis_q.residual_sq[0]), 0, 0)]
+        enum._seen = {(0, 0)}
+        enum._counters = counters
+        enum._table = self.table
+        enum._last = None
+        return enum
+
+
+class _HessKernel(_KernelBase):
+    """Vectorised :class:`HessEnumerator` (ETH-SD row-parallel zigzag)."""
+
+    def __init__(self, num_slots, side, levels, ped, prunes) -> None:
+        super().__init__(num_slots, side, levels, ped, prunes)
+        self.row_position = np.zeros((num_slots, side), dtype=np.int64)
+        self.row_distance = np.zeros((num_slots, side), dtype=np.float64)
+        self.pending = np.full(num_slots, -1, dtype=np.int64)
+
+    def init(self, slots, elements, points) -> None:
+        self.init_axes(slots, points)
+        self.row_position[slots] = 0
+        # Every row's best point up front: sqrt(|O|) PED calcs per node.
+        self.row_distance[slots] = self.res_i[slots, :1] + self.res_q[slots]
+        self.pending[slots] = -1
+        self.ped[elements] += self.side
+
+    def step(self, slots, elements, budget):
+        pending = self.pending[slots]
+        refill = pending >= 0
+        if refill.any():
+            slots_r = slots[refill]
+            row = pending[refill]
+            self.pending[slots_r] = -1
+            position = self.row_position[slots_r, row] + 1
+            alive = position < self.side
+            slots_a = slots_r[alive]
+            row_a = row[alive]
+            position_a = position[alive]
+            self.row_position[slots_a, row_a] = position_a
+            self.row_distance[slots_a, row_a] = (
+                self.res_i[slots_a, position_a] + self.res_q[slots_a, row_a])
+            self.ped[elements[refill][alive]] += 1
+            slots_x = slots_r[~alive]
+            self.row_position[slots_x, row[~alive]] = -1
+            self.row_distance[slots_x, row[~alive]] = np.inf
+        row_distance = self.row_distance[slots]
+        best_row = row_distance.argmin(axis=1)
+        distance = row_distance[self._iota[:slots.size], best_row]
+        got = np.isfinite(distance) & (distance < budget)
+        slots_g = slots[got]
+        row_g = best_row[got]
+        self.pending[slots_g] = row_g
+        position_g = self.row_position[slots_g, row_g]
+        return (got, distance[got], self.ord_i[slots_g, position_g],
+                self.ord_q[slots_g, row_g])
+
+    def rebuild(self, slot: int, counters: ComplexityCounters):
+        enum = HessEnumerator.__new__(HessEnumerator)
+        enum._axis_i, enum._axis_q = self._axes(slot)
+        enum._row_position = self.row_position[slot].copy()
+        enum._row_distance = self.row_distance[slot].copy()
+        pending = int(self.pending[slot])
+        enum._pending_refill = pending if pending >= 0 else None
+        enum._counters = counters
+        return enum
+
+    def fresh(self, received: complex, counters: ComplexityCounters):
+        enum = HessEnumerator.__new__(HessEnumerator)
+        enum._axis_i, enum._axis_q = self._fresh_axes(received)
+        enum._counters = counters
+        enum._row_position = np.zeros(self.side, dtype=np.int64)
+        enum._row_distance = (enum._axis_i.residual_sq[0]
+                              + enum._axis_q.residual_sq)
+        counters.ped_calcs += self.side
+        enum._pending_refill = None
+        return enum
+
+
+class _ExhaustiveKernel(_KernelBase):
+    """Vectorised :class:`ExhaustiveEnumerator` (sort on node entry)."""
+
+    def __init__(self, num_slots, side, levels, ped, prunes) -> None:
+        super().__init__(num_slots, side, levels, ped, prunes)
+        grid = side * side
+        self.cand_d = np.zeros((num_slots, grid), dtype=np.float64)
+        self.cand_col = np.zeros((num_slots, grid), dtype=np.int64)
+        self.cand_row = np.zeros((num_slots, grid), dtype=np.int64)
+        self.cursor = np.zeros(num_slots, dtype=np.int64)
+
+    def init(self, slots, elements, points) -> None:
+        self.init_axes(slots, points)
+        side = self.side
+        grid = (self.res_i[slots][:, :, None]
+                + self.res_q[slots][:, None, :]).reshape(slots.size, -1)
+        self.ped[elements] += side * side
+        # Stable argsort in (i * side + j) flat order — the scalar
+        # enumerator's tie-breaking, row for row.
+        positions = np.argsort(grid, axis=1, kind="stable")
+        self.cand_d[slots] = np.take_along_axis(grid, positions, axis=1)
+        self.cand_col[slots] = np.take_along_axis(
+            self.ord_i[slots], positions // side, axis=1)
+        self.cand_row[slots] = np.take_along_axis(
+            self.ord_q[slots], positions % side, axis=1)
+        self.cursor[slots] = 0
+
+    def step(self, slots, elements, budget):
+        grid = self.side * self.side
+        cursor = self.cursor[slots]
+        position = np.minimum(cursor, grid - 1)
+        distance = self.cand_d[slots, position]
+        got = (cursor < grid) & (distance < budget)
+        slots_g = slots[got]
+        position_g = position[got]
+        self.cursor[slots_g] = cursor[got] + 1
+        return (got, distance[got], self.cand_col[slots_g, position_g],
+                self.cand_row[slots_g, position_g])
+
+    def rebuild(self, slot: int, counters: ComplexityCounters):
+        enum = ExhaustiveEnumerator.__new__(ExhaustiveEnumerator)
+        enum._candidates = [
+            Candidate(col=int(col), row=int(row), dist_sq=float(dist))
+            for dist, col, row in zip(self.cand_d[slot], self.cand_col[slot],
+                                      self.cand_row[slot])]
+        enum._cursor = int(self.cursor[slot])
+        return enum
+
+    def fresh(self, received: complex, counters: ComplexityCounters):
+        axis_i, axis_q = self._fresh_axes(received)
+        distances = axis_i.residual_sq[:, None] + axis_q.residual_sq[None, :]
+        counters.ped_calcs += distances.size
+        flat = distances.reshape(-1)
+        positions = np.argsort(flat, kind="stable")
+        side = self.side
+        enum = ExhaustiveEnumerator.__new__(ExhaustiveEnumerator)
+        enum._candidates = [
+            Candidate(col=int(axis_i.indices[p // side]),
+                      row=int(axis_q.indices[p % side]),
+                      dist_sq=float(flat[p]))
+            for p in positions]
+        enum._cursor = 0
+        return enum
+
+
+def _make_kernel(decoder, num_slots: int, levels: np.ndarray,
+                 ped: np.ndarray, prunes: np.ndarray):
+    side = int(levels.shape[0])
+    pruner = decoder._pruner
+    table = pruner.table if pruner is not None else None
+    name = decoder.enumerator
+    if name == "zigzag":
+        return _ZigzagKernel(num_slots, side, levels, ped, prunes, table)
+    if name == "shabany":
+        return _ShabanyKernel(num_slots, side, levels, ped, prunes, table)
+    if name == "hess":
+        return _HessKernel(num_slots, side, levels, ped, prunes)
+    return _ExhaustiveKernel(num_slots, side, levels, ped, prunes)
+
+
+def _drain_element(decoder, kernel, element: int, r, y_row, diag, diag_sq,
+                   level, parent, radius, chosen, path_cols, path_rows,
+                   best_cols, best_rows, best_dist, tallies):
+    """Finish one observation's half-run search at scalar speed.
+
+    Rebuilds the stack of scalar enumerators from the kernel arrays and
+    resumes :meth:`SphereDecoder._continue_search` with the element's
+    radius, path and counter state, so the continuation is bit-identical
+    to having run the scalar search from the start.
+    """
+    ped, visited, expanded, leaves, prunes = tallies
+    counters = ComplexityCounters(
+        ped_calcs=int(ped[element]),
+        visited_nodes=int(visited[element]),
+        expanded_nodes=int(expanded[element]),
+        leaves=int(leaves[element]),
+        geometric_prunes=int(prunes[element]))
+    num_streams = r.shape[1]
+    base = element * num_streams
+    stack = [(lv, float(parent[base + lv]), kernel.rebuild(base + lv, counters))
+             for lv in range(num_streams - 1, int(level[element]) - 1, -1)]
+    return decoder._continue_search(
+        r, y_row, diag, diag_sq, kernel.fresh,
+        stack=stack,
+        radius_sq=float(radius[element]),
+        counters=counters,
+        chosen_symbols=chosen[element].copy(),
+        path_cols=path_cols[element].copy(),
+        path_rows=path_rows[element].copy(),
+        best_cols=best_cols[element].copy(),
+        best_rows=best_rows[element].copy(),
+        best_distance=float(best_dist[element]))
+
+
+def frontier_decode_batch(decoder, r: np.ndarray, y_hat_batch: np.ndarray,
+                          *, drain_threshold: int | None = None,
+                          trace: dict | None = None) -> BatchDecodeResult:
+    """Decode a ``(T, nc)`` batch against one ``R`` in breadth-synchronised
+    lockstep.
+
+    Parameters
+    ----------
+    decoder:
+        The configured :class:`~repro.sphere.decoder.SphereDecoder`
+        (constellation, enumerator, pruning, initial radius, node budget).
+    r, y_hat_batch:
+        Triangular channel and the ``(T, nc)`` rotated observations.
+    drain_threshold:
+        Hand the remaining searches to the scalar continuation once the
+        active set is this small (default ``max(1, T // 6)``, the
+        empirical break-even between a near-empty lockstep tick and the
+        scalar tail); ``0`` keeps every element in lockstep to the end.
+    trace:
+        Optional dict the engine appends observability records to:
+        ``"leaf_events"`` — per-tick ``(elements, distances)`` radius
+        tightenings, ``"drained"`` — elements finished by the scalar
+        continuation.  Used by the property tests to check the
+        monotone-radius invariant.
+    """
+    num_streams = r.shape[1]
+    batch = as_batch_matrix(y_hat_batch, num_streams, "y_hat_batch")
+    num_vectors = batch.shape[0]
+    constellation = decoder.constellation
+    if num_vectors == 0:
+        return BatchDecodeResult(
+            found=np.empty(0, dtype=bool),
+            symbol_indices=np.empty((0, num_streams), dtype=np.int64),
+            symbols=np.empty((0, num_streams), dtype=np.complex128),
+            distances_sq=np.empty(0, dtype=np.float64),
+            counters=ComplexityCounters())
+    levels = constellation.levels
+    diag = np.real(np.diag(r)).copy()
+    diag_sq = diag * diag
+    top = num_streams - 1
+    if drain_threshold is None:
+        drain_threshold = max(1, num_vectors // 6)
+
+    # Per-element complexity tallies (summed into the result counters).
+    ped = np.zeros(num_vectors, dtype=np.int64)
+    visited = np.zeros(num_vectors, dtype=np.int64)
+    expanded = np.zeros(num_vectors, dtype=np.int64)
+    leaves = np.zeros(num_vectors, dtype=np.int64)
+    prunes = np.zeros(num_vectors, dtype=np.int64)
+
+    num_slots = num_vectors * num_streams
+    kernel = _make_kernel(decoder, num_slots, levels, ped, prunes)
+
+    # Per-element search state; flat views share memory with the 2-D ones.
+    level = np.full(num_vectors, top, dtype=np.int64)
+    radius = np.full(num_vectors, decoder.initial_radius_sq, dtype=np.float64)
+    parent = np.zeros(num_slots, dtype=np.float64)
+    path_cols = np.zeros((num_vectors, num_streams), dtype=np.int64)
+    path_rows = np.zeros((num_vectors, num_streams), dtype=np.int64)
+    chosen = np.zeros((num_vectors, num_streams), dtype=np.complex128)
+    path_cols_flat = path_cols.reshape(-1)
+    path_rows_flat = path_rows.reshape(-1)
+    chosen_flat = chosen.reshape(-1)
+    best_cols = np.full((num_vectors, num_streams), -1, dtype=np.int64)
+    best_rows = np.full((num_vectors, num_streams), -1, dtype=np.int64)
+    best_dist = np.full(num_vectors, np.inf)
+
+    # The detected-symbol lookup grid: entry (col, row) is exactly the
+    # scalar ``levels[col] + 1j * levels[row]`` (both products are exact,
+    # so every code path agrees bitwise).
+    symbol_grid = levels[:, None] + 1j * levels[None, :]
+
+    # Expand every root: one shared division, one batched axis ordering.
+    active = np.arange(num_vectors, dtype=np.int64)
+    expanded += 1
+    kernel.init(active * num_streams + top, active, batch[:, top] / diag[top])
+
+    node_budget = decoder.node_budget
+    drained: dict[int, object] = {}
+    tallies = (ped, visited, expanded, leaves, prunes)
+
+    while active.size:
+        if node_budget is not None:
+            over = visited[active] >= node_budget
+            if over.any():
+                # Engineering guard, per element: stop and keep the best
+                # leaf found so far — exactly the scalar early break.
+                active = active[~over]
+                if active.size == 0:
+                    break
+        if active.size <= drain_threshold:
+            for element in active.tolist():
+                drained[element] = _drain_element(
+                    decoder, kernel, element, r, batch[element], diag,
+                    diag_sq, level, parent, radius, chosen, path_cols,
+                    path_rows, best_cols, best_rows, best_dist, tallies)
+            if trace is not None:
+                trace.setdefault("drained", []).extend(
+                    int(e) for e in active)
+            break
+
+        lv = level[active]
+        slots = active * num_streams + lv
+        parent_distance = parent[slots]
+        scale = diag_sq[lv]
+        sphere = radius[active]
+        budget = (sphere - parent_distance) / scale
+        got, dist_sq, col, row = kernel.step(slots, active, budget)
+
+        if got.all():
+            accepted, lv_a, slots_a = active, lv, slots
+            parent_a, scale_a, sphere_a = parent_distance, scale, sphere
+        else:
+            accepted = active[got]
+            lv_a = lv[got]
+            slots_a = slots[got]
+            parent_a = parent_distance[got]
+            scale_a = scale[got]
+            sphere_a = sphere[got]
+            # Enumerator ran dry: pop the stack (climb one level).
+            exhausted = active[~got]
+            new_level = level[exhausted] + 1
+            level[exhausted] = new_level
+            alive = new_level <= top
+            survivors = exhausted[alive] if not alive.all() else exhausted
+            # ``active`` keeps every stepping element (even ones whose
+            # candidate the defensive guard below rejects) plus the pops
+            # that still have stack; root pops leave the frontier.
+            active = np.concatenate([accepted, survivors])
+
+        if accepted.size:
+            distance = parent_a + scale_a * dist_sq
+            # Defensive guard mirroring the scalar loop; enumerators
+            # respect the budget, so this should never trigger.
+            keep = distance < sphere_a
+            if not keep.all():
+                accepted = accepted[keep]
+                lv_a = lv_a[keep]
+                slots_a = slots_a[keep]
+                distance = distance[keep]
+                col = col[keep]
+                row = row[keep]
+            visited[accepted] += 1
+            path_cols_flat[slots_a] = col
+            path_rows_flat[slots_a] = row
+            chosen_flat[slots_a] = symbol_grid[col, row]
+            leaf = lv_a == 0
+            if leaf.any():
+                at_leaf = accepted[leaf]
+                leaf_distance = distance[leaf]
+                leaves[at_leaf] += 1
+                # Schnorr–Euchner radius update, per element.
+                radius[at_leaf] = leaf_distance
+                best_dist[at_leaf] = leaf_distance
+                best_cols[at_leaf] = path_cols[at_leaf]
+                best_rows[at_leaf] = path_rows[at_leaf]
+                if trace is not None:
+                    trace.setdefault("leaf_events", []).append(
+                        (at_leaf.copy(), leaf_distance.copy()))
+                push = ~leaf
+            else:
+                push = None
+            if push is None or push.any():
+                if push is None:
+                    descending = accepted
+                    next_level = lv_a - 1
+                    parent_push = distance
+                else:
+                    descending = accepted[push]
+                    next_level = lv_a[push] - 1
+                    parent_push = distance[push]
+                # Interference of the decided upper levels, accumulated
+                # column-by-column (ascending) through the multiply
+                # ufunc — the scalar search's exact float program.
+                products = r[next_level] * chosen[descending]
+                interference = np.zeros(descending.size, dtype=np.complex128)
+                first = int(next_level[0])
+                if (next_level == first).all():
+                    for column in range(first + 1, num_streams):
+                        interference = interference + products[:, column]
+                else:
+                    for column in range(1, num_streams):
+                        interference = np.where(
+                            next_level < column,
+                            interference + products[:, column], interference)
+                points = ((batch[descending, next_level] - interference)
+                          / diag[next_level])
+                expanded[descending] += 1
+                new_slots = descending * num_streams + next_level
+                kernel.init(new_slots, descending, points)
+                parent[new_slots] = parent_push
+                level[descending] = next_level
+
+    found = np.isfinite(best_dist)
+    indices = np.full((num_vectors, num_streams), -1, dtype=np.int64)
+    symbols = np.full((num_vectors, num_streams), np.nan + 0j,
+                      dtype=np.complex128)
+    distances = best_dist.copy()
+    lockstep = found.copy()
+    for element, result in drained.items():
+        lockstep[element] = False
+        found[element] = result.found
+        indices[element] = result.symbol_indices
+        symbols[element] = result.symbols
+        distances[element] = result.distance_sq
+        tally = result.counters
+        ped[element] = tally.ped_calcs
+        visited[element] = tally.visited_nodes
+        expanded[element] = tally.expanded_nodes
+        leaves[element] = tally.leaves
+        prunes[element] = tally.geometric_prunes
+    if lockstep.any():
+        best = constellation.index_of(best_cols[lockstep],
+                                      best_rows[lockstep])
+        indices[lockstep] = best
+        symbols[lockstep] = constellation.points[best]
+    totals = ComplexityCounters(
+        ped_calcs=int(ped.sum()),
+        visited_nodes=int(visited.sum()),
+        expanded_nodes=int(expanded.sum()),
+        leaves=int(leaves.sum()),
+        geometric_prunes=int(prunes.sum()))
+    totals.complex_mults = totals.ped_calcs * (num_streams + 1)
+    return BatchDecodeResult(found=found, symbol_indices=indices,
+                             symbols=symbols, distances_sq=distances,
+                             counters=totals)

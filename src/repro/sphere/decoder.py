@@ -29,6 +29,7 @@ import numpy as np
 from ..constellation.qam import QamConstellation
 from ..utils.validation import as_complex_vector, require
 from .batch import BatchDecodeResult, as_batch_matrix, qr_decode_block
+from .batch_search import FRONTIER_MIN_BATCH, frontier_decode_batch
 from .counters import ComplexityCounters
 from .enumerator import NodeEnumerator
 from .exhaustive import ExhaustiveEnumerator
@@ -106,6 +107,12 @@ class SphereDecoder:
         traverse identical trees.  ``"norm"`` applies sorted QR (strongest
         column detected first), a standard detection-order heuristic that
         reduces average complexity without affecting the ML result.
+    batch_strategy:
+        How :meth:`decode_batch` drives a block of observations:
+        ``"frontier"`` (default) uses the breadth-synchronised vectorised
+        engine (:mod:`repro.sphere.batch_search`); ``"loop"`` runs the
+        scalar search row by row.  Both are bit-identical; the loop is
+        kept for differential testing and as a debugging fallback.
     """
 
     def __init__(self, constellation: QamConstellation,
@@ -113,7 +120,8 @@ class SphereDecoder:
                  geometric_pruning: bool = True,
                  initial_radius_sq: float = float("inf"),
                  node_budget: int | None = None,
-                 column_ordering: str = "none") -> None:
+                 column_ordering: str = "none",
+                 batch_strategy: str = "frontier") -> None:
         require(enumerator in ENUMERATORS,
                 f"unknown enumerator {enumerator!r}; choose from {ENUMERATORS}")
         if enumerator in ("hess", "exhaustive"):
@@ -126,6 +134,10 @@ class SphereDecoder:
         require(column_ordering in ("none", "norm"),
                 f"unknown column ordering {column_ordering!r}; "
                 "choose 'none' or 'norm'")
+        require(batch_strategy in ("frontier", "loop"),
+                f"unknown batch strategy {batch_strategy!r}; "
+                "choose 'frontier' or 'loop'")
+        self.batch_strategy = batch_strategy
         self.constellation = constellation
         self.enumerator = enumerator
         self.geometric_pruning = geometric_pruning
@@ -200,14 +212,39 @@ class SphereDecoder:
                      y_hat_batch: np.ndarray) -> BatchDecodeResult:
         """Decode a ``(T, nc)`` batch of observations against one ``R``.
 
-        The depth-first search has data-dependent control flow per vector,
-        so the batch driver runs the *identical* scalar search per row but
-        shares everything observation-independent across the batch: the
-        diagonal scalings, the enumerator dispatch (and through it the
-        geometric-pruning table), and the counter aggregation.  Results
-        are therefore bit-identical to per-vector
-        :meth:`decode_triangular` calls, and the aggregated counters equal
-        the sum of the per-vector counters exactly.
+        Dispatches on the decoder's ``batch_strategy``:
+
+        ``"frontier"`` (default)
+            The breadth-synchronised engine of
+            :mod:`repro.sphere.batch_search`: every observation's
+            depth-first search advances in lockstep through numpy array
+            ops over the batch of active tree nodes.
+        ``"loop"``
+            The reference driver below: the *identical* scalar search per
+            row, with everything observation-independent (diagonal
+            scalings, enumerator dispatch, the geometric-pruning table)
+            shared across the batch.
+
+        Both strategies are bit-identical to per-vector
+        :meth:`decode_triangular` calls — symbol decisions, distances,
+        ``found`` flags — and the aggregated counters equal the sum of
+        the per-vector counters exactly.  Tiny batches (fewer than
+        ``FRONTIER_MIN_BATCH`` rows) always take the loop: below the
+        measured crossover the array machinery costs more than it saves.
+        """
+        if self.batch_strategy == "frontier":
+            batch = as_batch_matrix(y_hat_batch, r.shape[1], "y_hat_batch")
+            if batch.shape[0] >= FRONTIER_MIN_BATCH:
+                return frontier_decode_batch(self, r, batch)
+            return self._decode_batch_loop(r, batch)
+        return self._decode_batch_loop(r, y_hat_batch)
+
+    def _decode_batch_loop(self, r: np.ndarray,
+                           y_hat_batch: np.ndarray) -> BatchDecodeResult:
+        """Reference batch driver: one scalar search per row.
+
+        Kept as the ``strategy="loop"`` fallback so the frontier engine
+        always has an in-tree differential baseline.
         """
         num_streams = r.shape[1]
         batch = as_batch_matrix(y_hat_batch, num_streams, "y_hat_batch")
@@ -245,18 +282,7 @@ class SphereDecoder:
                 diag_sq: np.ndarray, make_enumerator) -> SphereDecoderResult:
         """One depth-first search with all shared state hoisted."""
         num_streams = r.shape[1]
-        levels = self.constellation.levels
         counters = ComplexityCounters()
-
-        radius_sq = self.initial_radius_sq
-        best_cols = np.full(num_streams, -1, dtype=np.int64)
-        best_rows = np.full(num_streams, -1, dtype=np.int64)
-        best_distance = np.inf
-
-        chosen_symbols = np.zeros(num_streams, dtype=np.complex128)
-        path_cols = np.zeros(num_streams, dtype=np.int64)
-        path_rows = np.zeros(num_streams, dtype=np.int64)
-
         top = num_streams - 1
         root_point = complex(y_hat[top] / diag[top])
         counters.expanded_nodes += 1
@@ -264,7 +290,33 @@ class SphereDecoder:
         stack: list[tuple[int, float, NodeEnumerator]] = [
             (top, 0.0, make_enumerator(root_point, counters))
         ]
+        return self._continue_search(
+            r, y_hat, diag, diag_sq, make_enumerator,
+            stack=stack,
+            radius_sq=self.initial_radius_sq,
+            counters=counters,
+            chosen_symbols=np.zeros(num_streams, dtype=np.complex128),
+            path_cols=np.zeros(num_streams, dtype=np.int64),
+            path_rows=np.zeros(num_streams, dtype=np.int64),
+            best_cols=np.full(num_streams, -1, dtype=np.int64),
+            best_rows=np.full(num_streams, -1, dtype=np.int64),
+            best_distance=np.inf)
 
+    def _continue_search(self, r: np.ndarray, y_hat: np.ndarray,
+                         diag: np.ndarray, diag_sq: np.ndarray,
+                         make_enumerator, *, stack, radius_sq, counters,
+                         chosen_symbols, path_cols, path_rows, best_cols,
+                         best_rows, best_distance) -> SphereDecoderResult:
+        """Run the depth-first loop from an explicit mid-search state.
+
+        :meth:`_search` seeds it with a fresh root; the frontier engine
+        (:mod:`repro.sphere.batch_search`) seeds it with a reconstructed
+        stack when it drains straggler observations out of the lockstep
+        batch, so both callers execute the *same* loop body and stay
+        bit-identical.
+        """
+        num_streams = r.shape[1]
+        levels = self.constellation.levels
         node_budget = self.node_budget
         while stack:
             if node_budget is not None and counters.visited_nodes >= node_budget:
@@ -290,8 +342,15 @@ class SphereDecoder:
                 best_rows[:] = path_rows
                 continue
             next_level = level - 1
-            interference = complex(
-                r[next_level, next_level + 1:] @ chosen_symbols[next_level + 1:])
+            # Accumulate column-by-column (ascending), multiplying via the
+            # ufunc: BLAS dot products and numpy's scalar-fast-path complex
+            # multiply both differ from the array loop in the last ulp, and
+            # the frontier engine's vectorised accumulation must match this
+            # exactly (the same convention the K-best batch path uses).
+            interference = 0.0 + 0.0j
+            for column in range(next_level + 1, num_streams):
+                interference = interference + np.multiply(
+                    r[next_level, column], chosen_symbols[column])
             received_point = complex((y_hat[next_level] - interference)
                                      / diag[next_level])
             counters.expanded_nodes += 1

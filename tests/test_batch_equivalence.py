@@ -11,7 +11,13 @@ agreement and the finite-initial-radius ``found=False`` edge case.
 import numpy as np
 import pytest
 
-from repro.channel import awgn, noise_variance_for_snr, rayleigh_channel
+from repro.channel import (
+    GeometricChannelModel,
+    awgn,
+    correlated_rayleigh_channel,
+    noise_variance_for_snr,
+    rayleigh_channel,
+)
 from repro.constellation import qam
 from repro.detect import SphereDetector
 from repro.sphere import KBestDecoder, SphereDecoder, triangularize
@@ -204,6 +210,115 @@ def _triangular_batch_from(channel, order, snr_db, rng, size=3):
                 + awgn((size, channel.shape[0]), noise_variance, rng))
     q, r = triangularize(channel)
     return r, received @ np.conj(q)
+
+
+class TestConditionedChannelEquivalence:
+    """Scalar/batch equivalence on the channels that stress the search.
+
+    Kronecker-correlated Rayleigh and small-angular-spread geometric
+    draws raise the condition number (the paper's Fig. 2 regimes), which
+    lengthens and *skews* the per-vector searches — exactly where the
+    frontier engine's scheduling (lockstep ticks plus straggler drain)
+    must not leak into results.  The throughput analyses in PAPERS.md
+    make the same point: the latency distribution over correlated
+    channels, not the i.i.d. mean, is what governs throughput, so the
+    equivalence contract is pinned here too, not just on Rayleigh draws.
+    """
+
+    def _assert_equivalent(self, channel, order, snr_db, rng, size=6):
+        constellation = qam(order)
+        sent = rng.integers(0, order, size=(size, channel.shape[1]))
+        noise_variance = noise_variance_for_snr(channel, snr_db)
+        received = (constellation.points[sent] @ channel.T
+                    + awgn((size, channel.shape[0]), noise_variance, rng))
+        q, r = triangularize(channel)
+        y_hat = received @ np.conj(q)
+        loop = SphereDecoder(constellation, batch_strategy="loop")
+        frontier = SphereDecoder(constellation)
+        scalars, totals = _sum_scalar(loop, r, y_hat)
+        _assert_batch_matches(frontier.decode_batch(r, y_hat), scalars,
+                              totals)
+        _assert_batch_matches(loop.decode_batch(r, y_hat), scalars, totals)
+
+    def test_correlated_rayleigh_moderate(self):
+        rng = np.random.default_rng(606)
+        channel = correlated_rayleigh_channel(4, 4, 0.6, 0.6, rng)
+        self._assert_equivalent(channel, 16, 22.0, rng)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("coefficient", [0.5, 0.8, 0.9])
+    def test_correlated_rayleigh_sweep(self, coefficient):
+        """Higher correlation -> higher condition number -> longer,
+        heavier-tailed searches; equivalence must hold throughout."""
+        rng = np.random.default_rng(int(coefficient * 100))
+        for order, snr_db in [(4, 16.0), (16, 24.0)]:
+            for _ in range(3):
+                channel = correlated_rayleigh_channel(
+                    4, 4, coefficient, coefficient, rng)
+                if np.linalg.cond(channel) > 1e4:
+                    continue  # numerically rank deficient for QR
+                self._assert_equivalent(channel, order, snr_db, rng)
+
+    @pytest.mark.slow
+    def test_geometric_ill_conditioned(self):
+        """Clustered-reflector geometric channels (a few degrees of
+        angular spread): the paper's poorly-conditioned regime."""
+        model = GeometricChannelModel(4, rng=808)
+        rng = np.random.default_rng(808)
+        checked = 0
+        while checked < 4:
+            channel = model.sample(4, 3.0)
+            condition = np.linalg.cond(channel)
+            if condition > 1e4:
+                continue  # too singular even for the scalar decoder
+            self._assert_equivalent(channel, 16, 26.0, rng, size=5)
+            checked += 1
+
+    @pytest.mark.slow
+    def test_geometric_well_vs_ill_conditioned_counters(self):
+        """Sanity anchor for the Fig. 2 story inside the batch path: the
+        ill-conditioned draw costs more PED calculations per detection
+        than the well-conditioned one, in both strategies identically."""
+        model = GeometricChannelModel(4, rng=31)
+        rng = np.random.default_rng(31)
+        costs = {}
+        for label, spread in (("ill", 2.0), ("well", 40.0)):
+            while True:
+                channel = model.sample(4, spread)
+                if np.linalg.cond(channel) < (1e3 if label == "ill"
+                                              else 50.0):
+                    break
+            constellation = qam(16)
+            sent = rng.integers(0, 16, size=(8, 4))
+            noise_variance = noise_variance_for_snr(channel, 24.0)
+            received = (constellation.points[sent] @ channel.T
+                        + awgn((8, 4), noise_variance, rng))
+            q, r = triangularize(channel)
+            y_hat = received @ np.conj(q)
+            loop = SphereDecoder(constellation, batch_strategy="loop")
+            frontier = SphereDecoder(constellation)
+            reference = loop.decode_batch(r, y_hat)
+            batch = frontier.decode_batch(r, y_hat)
+            assert batch.counters.ped_calcs == reference.counters.ped_calcs
+            costs[label] = batch.counters.ped_calcs
+        assert costs["ill"] > costs["well"]
+
+    def test_correlated_kbest_batch_equivalence(self):
+        """The vectorised K-best path honours the same contract on
+        correlated channels."""
+        rng = np.random.default_rng(17)
+        channel = correlated_rayleigh_channel(4, 4, 0.7, 0.7, rng)
+        constellation = qam(16)
+        sent = rng.integers(0, 16, size=(6, 4))
+        noise_variance = noise_variance_for_snr(channel, 22.0)
+        received = (constellation.points[sent] @ channel.T
+                    + awgn((6, 4), noise_variance, rng))
+        q, r = triangularize(channel)
+        y_hat = received @ np.conj(q)
+        decoder = KBestDecoder(constellation, k=8)
+        batch = decoder.decode_batch(r, y_hat)
+        scalars, totals = _sum_scalar(decoder, r, y_hat)
+        _assert_batch_matches(batch, scalars, totals)
 
 
 class TestAdapterCounterAccounting:
