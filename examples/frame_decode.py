@@ -1,0 +1,93 @@
+"""Frame-level detection: one scheduler for every (subcarrier, symbol).
+
+Builds a 16-QAM, 4x4 uplink frame over 64 OFDM data subcarriers and
+detects it twice with the same Geosphere decoder:
+
+1. ``frame_strategy="per_subcarrier"`` — the batch path: one QR and one
+   breadth-synchronised search per subcarrier (64 engine instances, 64
+   straggler tails);
+2. ``frame_strategy="frame"`` — the frame engine: one stacked QR sweep
+   and a *single* frontier whose slot scheduler packs searches from every
+   subcarrier together, refilling freed slots from the frame-wide queue.
+
+Both are bit-identical — symbol decisions and the paper's complexity
+counters — so the only thing that changes is wall-clock latency.
+
+Run:  python examples/frame_decode.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.constellation import qam
+from repro.detect import SphereDetector
+from repro.phy.receiver import detect_uplink
+from repro.sphere import geosphere_decoder
+
+NUM_SUBCARRIERS = 64
+NUM_SYMBOLS = 16
+NUM_CLIENTS = 4
+NUM_ANTENNAS = 4
+SNR_DB = 21.0
+
+
+def best_of(function, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    rng = np.random.default_rng(2014)
+    constellation = qam(16)
+
+    # One frame: per-subcarrier Rayleigh channels, random payload symbols.
+    shape = (NUM_SUBCARRIERS, NUM_ANTENNAS, NUM_CLIENTS)
+    channels = (rng.standard_normal(shape)
+                + 1j * rng.standard_normal(shape)) / np.sqrt(2.0)
+    sent = rng.integers(0, constellation.order,
+                        size=(NUM_SYMBOLS, NUM_SUBCARRIERS, NUM_CLIENTS))
+    clean = np.einsum("tsc,sac->tsa", constellation.points[sent], channels)
+    energy = float(np.mean(np.sum(np.abs(channels) ** 2, axis=1)))
+    noise_variance = energy / 10.0 ** (SNR_DB / 10.0)
+    received = clean + np.sqrt(noise_variance / 2.0) * (
+        rng.standard_normal(clean.shape)
+        + 1j * rng.standard_normal(clean.shape))
+
+    detector = SphereDetector(geosphere_decoder(constellation))
+    print(f"frame: {NUM_SYMBOLS} OFDM symbols x {NUM_SUBCARRIERS} "
+          f"subcarriers x {NUM_CLIENTS} streams of 16-QAM "
+          f"({NUM_SYMBOLS * NUM_SUBCARRIERS} MIMO detections)")
+
+    per_sub = detect_uplink(channels, received, detector, noise_variance,
+                            frame_strategy="per_subcarrier")
+    frame = detect_uplink(channels, received, detector, noise_variance,
+                          frame_strategy="frame")
+
+    identical = (np.array_equal(frame.symbol_indices, per_sub.symbol_indices)
+                 and frame.counters == per_sub.counters)
+    errors = int((frame.symbol_indices != sent).sum())
+    print(f"strategies bit-identical (decisions and counters): {identical}")
+    print(f"symbol errors vs transmitted: {errors} / {sent.size}")
+    print(f"PED calculations per detection: "
+          f"{frame.counters.ped_calcs / frame.detections:.1f}")
+
+    per_sub_s = best_of(lambda: detect_uplink(
+        channels, received, detector, noise_variance,
+        frame_strategy="per_subcarrier"))
+    frame_s = best_of(lambda: detect_uplink(
+        channels, received, detector, noise_variance,
+        frame_strategy="frame"))
+    print(f"per-subcarrier path: {per_sub_s * 1e3:7.1f} ms/frame")
+    print(f"frame engine:        {frame_s * 1e3:7.1f} ms/frame")
+    print(f"frame engine is {per_sub_s / frame_s:.1f}x faster — one "
+          f"scheduler, one straggler drain, instead of "
+          f"{NUM_SUBCARRIERS} of each")
+
+
+if __name__ == "__main__":
+    main()

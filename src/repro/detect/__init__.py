@@ -3,7 +3,7 @@ hybrid switching and soft demapping.
 
 Batch detection API
 -------------------
-Every detector implements two entry points:
+Every detector implements two entry points, and most a third:
 
 ``detect(channel, received, noise_variance)``
     One channel use → :class:`DetectionResult`.  Convenience path for
@@ -11,16 +11,27 @@ Every detector implements two entry points:
 
 ``detect_batch(channel, received_block, noise_variance)``
     A ``(T, na)`` block of channel uses over one channel →
-    :class:`BatchDetectionResult`.  This is the hot path: the OFDM
-    receive chain (:func:`repro.phy.receiver.detect_uplink`) hands each
-    subcarrier's full symbol block to the detector in one call, so
-    channel-only preprocessing (pseudo-inverse, MMSE filter bank, QR
-    factorisation) is paid once per frame and the per-vector work is
-    vectorised wherever the algorithm allows — fully for the linear,
-    MMSE-SIC and K-best detectors, shared-state amortisation for the
-    depth-first sphere decoder.  Detectors that track the paper's
-    complexity counters return them aggregated over the block; the
-    aggregate equals the sum of per-vector counters exactly.
+    :class:`BatchDetectionResult`.  Channel-only preprocessing
+    (pseudo-inverse, MMSE filter bank, QR factorisation) is paid once
+    per block and the per-vector work is vectorised wherever the
+    algorithm allows — fully for the linear, MMSE-SIC and K-best
+    detectors, the breadth-synchronised frontier for the depth-first
+    sphere decoder.  Detectors that track the paper's complexity
+    counters return them aggregated over the block; the aggregate
+    equals the sum of per-vector counters exactly.
+
+``detect_frame(channels, received, noise_variance)``
+    The whole uplink frame — ``(S, na, nc)`` channels, ``(T, S, na)``
+    observations — in one call →
+    :class:`repro.frame.results.FrameDetectionResult`.  This is what
+    the receive chain (:func:`repro.phy.receiver.detect_uplink`) uses
+    by default: preprocessing is one stacked ``numpy.linalg`` sweep
+    across all subcarriers, and per-slot work runs cross-subcarrier —
+    the frame engine of :mod:`repro.frame.engine` for tree searches,
+    stacked filter banks for the linear detectors.  Results and
+    counters are bit-identical to per-subcarrier ``detect_batch``
+    calls; detectors without this entry point (exhaustive ML, hybrid)
+    are handled by the receive chain's per-subcarrier fallback.
 
 The older ``detect_block`` methods (returning the bare index array)
 remain as thin wrappers for backwards compatibility.

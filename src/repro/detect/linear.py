@@ -13,6 +13,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..constellation.qam import QamConstellation
+from ..frame.preprocess import (
+    apply_frame_filters,
+    mmse_frame_filters,
+    zf_frame_filters,
+)
+from ..frame.results import FrameDetectionResult, hard_decision_frame
 from ..utils.validation import as_complex_matrix, as_complex_vector, require
 from .base import BatchDetectionResult, DetectionResult, hard_decision_batch
 
@@ -84,6 +90,16 @@ class ZeroForcingDetector:
             self.constellation,
             self.detect_block(channel, received_block, noise_variance))
 
+    def detect_frame(self, channels, received,
+                     noise_variance: float = 0.0) -> FrameDetectionResult:
+        """Frame entry point: ``(S, na, nc)`` channels, ``(T, S, na)``
+        observations — one stacked pseudo-inverse sweep
+        (:func:`repro.frame.preprocess.zf_frame_filters`), one stacked
+        matmul, ``T*S`` sliced decisions."""
+        estimates = apply_frame_filters(zf_frame_filters(channels), received)
+        return hard_decision_frame(self.constellation,
+                                   self.constellation.slice_indices(estimates))
+
 
 class MmseDetector:
     """Hard-decision MMSE receiver."""
@@ -119,3 +135,13 @@ class MmseDetector:
         return hard_decision_batch(
             self.constellation,
             self.detect_block(channel, received_block, noise_variance))
+
+    def detect_frame(self, channels, received,
+                     noise_variance: float) -> FrameDetectionResult:
+        """Frame entry point: the whole filter bank from one stacked
+        solve (:func:`repro.frame.preprocess.mmse_frame_filters`), then
+        every (symbol, subcarrier) estimate in one stacked matmul."""
+        filters = mmse_frame_filters(channels, noise_variance)
+        estimates = apply_frame_filters(filters, received)
+        return hard_decision_frame(self.constellation,
+                                   self.constellation.slice_indices(estimates))

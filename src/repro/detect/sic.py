@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..constellation.qam import QamConstellation
+from ..frame.results import FrameDetectionResult, hard_decision_frame
 from ..utils.validation import as_complex_matrix, as_complex_vector, require
 from .base import BatchDetectionResult, DetectionResult, hard_decision_batch
 
@@ -73,7 +74,12 @@ class MmseSicDetector:
         residual = block.copy()
         for stream, filter_row in stage_filters:
             # filter_row is the complete equaliser row: estimate = w . y.
-            estimates = residual @ filter_row
+            # Shaped (na, 1) so this is the same matmul kernel the frame
+            # path (detect_frame) runs per subcarrier slice — a plain
+            # matrix-vector product could use a different BLAS routine
+            # with a different accumulation order, and the two strategies
+            # must stay bit-identical on every build.
+            estimates = (residual @ filter_row[:, None])[:, 0]
             detected = self.constellation.slice_indices(estimates)
             indices[:, stream] = detected
             # Cancel the hard decisions from every vector at once.  Wrong
@@ -90,3 +96,63 @@ class MmseSicDetector:
         return hard_decision_batch(
             self.constellation,
             self.detect_block(channel, received_block, noise_variance))
+
+    def detect_frame(self, channels, received,
+                     noise_variance: float) -> FrameDetectionResult:
+        """Frame entry point: every subcarrier's cancellation chain runs
+        in lockstep.
+
+        ``channels`` is ``(S, na, nc)``; ``received`` is ``(T, S, na)``.
+        The detection *order* differs per subcarrier (it follows each
+        subcarrier's own column energies), so stage ``k`` detects a
+        possibly different stream on every subcarrier — the per-stage
+        MMSE filter banks come from one stacked solve over the gathered
+        remaining columns, and the estimate / slice / cancel step is one
+        ``(S, T)``-shaped array op per stage instead of ``S`` separate
+        chains.
+        """
+        matrices = np.asarray(channels, dtype=np.complex128)
+        observations = np.asarray(received, dtype=np.complex128)
+        require(matrices.ndim == 3, "channels must be (S, na, nc)")
+        require(observations.ndim == 3
+                and observations.shape[1] == matrices.shape[0]
+                and observations.shape[2] == matrices.shape[1],
+                "received must be (T, S, na) matching the channel stack")
+        require(matrices.shape[1] >= matrices.shape[2],
+                f"need num_rx >= num_tx, got "
+                f"{matrices.shape[1]}x{matrices.shape[2]} per subcarrier")
+        require(noise_variance >= 0.0, "noise variance must be non-negative")
+        num_subcarriers, _, num_tx = matrices.shape
+        num_symbols = observations.shape[0]
+        points = self.constellation.points
+
+        # Paper ordering per subcarrier: descending column energy.
+        order = np.argsort(-np.sum(np.abs(matrices) ** 2, axis=1), axis=1,
+                           kind="stable")
+        indices = np.zeros((num_subcarriers, num_symbols, num_tx),
+                           dtype=np.int64)
+        residual = np.moveaxis(observations, 1, 0).copy()      # (S, T, na)
+        for stage in range(num_tx):
+            remaining = order[:, stage:]
+            active = np.take_along_axis(matrices, remaining[:, None, :],
+                                        axis=2)                # (S, na, m)
+            hermitian = active.conj().transpose(0, 2, 1)
+            gram = (np.matmul(hermitian, active)
+                    + noise_variance * np.eye(num_tx - stage))
+            # Row 0 of each solve is the to-be-detected stream's filter.
+            filter_rows = np.linalg.solve(gram, hermitian)[:, 0, :]
+            estimates = np.matmul(residual, filter_rows[:, :, None])[:, :, 0]
+            detected = self.constellation.slice_indices(estimates)  # (S, T)
+            stream = order[:, stage]
+            np.put_along_axis(
+                indices,
+                np.broadcast_to(stream[:, None, None],
+                                (num_subcarriers, num_symbols, 1)),
+                detected[:, :, None], axis=2)
+            # Cancel the hard decisions on every (symbol, subcarrier) at
+            # once; wrong decisions propagate, exactly as per subcarrier.
+            column = np.take_along_axis(matrices, stream[:, None, None],
+                                        axis=2)[:, :, 0]       # (S, na)
+            residual = residual - points[detected][:, :, None] * column[:, None, :]
+        return hard_decision_frame(self.constellation,
+                                   indices.transpose(1, 0, 2))

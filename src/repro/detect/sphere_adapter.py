@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..frame.results import FrameDetectionResult
 from ..sphere.counters import ComplexityCounters
 from .base import BatchDetectionResult, DetectionResult
 
@@ -67,6 +68,45 @@ class SphereDetector:
         return BatchDetectionResult(symbols=result.symbols,
                                     symbol_indices=result.symbol_indices,
                                     counters=result.counters)
+
+    def detect_frame(self, channels, received,
+                     noise_variance: float = 0.0) -> FrameDetectionResult:
+        """Detect a whole uplink frame — ``(S, na, nc)`` channels,
+        ``(T, S, na)`` observations — in one decoder call.
+
+        Decoders with a ``decode_frame`` entry point (the depth-first
+        sphere decoder's frame frontier engine, the cross-subcarrier
+        K-best expansion) receive every (symbol, subcarrier) search at
+        once; anything else falls back to one ``decode_block`` per
+        subcarrier, so the adapter's frame surface is uniform across the
+        decoder zoo.  Either way the aggregated counters land on the
+        result (frame-level totals, no per-subcarrier merge for frame
+        decoders) and are mirrored into :attr:`last_block_counters`.
+        """
+        decode_frame = getattr(self.decoder, "decode_frame", None)
+        if decode_frame is not None:
+            result = decode_frame(channels, received)
+            counters = result.counters
+            indices = result.symbol_indices
+            symbols = result.symbols
+        else:
+            observations = np.asarray(received, dtype=np.complex128)
+            num_symbols, num_subcarriers = observations.shape[:2]
+            num_streams = np.asarray(channels).shape[2]
+            indices = np.empty((num_symbols, num_subcarriers, num_streams),
+                               dtype=np.int64)
+            symbols = np.empty_like(indices, dtype=np.complex128)
+            counters = ComplexityCounters()
+            for s in range(num_subcarriers):
+                block = self.decoder.decode_block(channels[s],
+                                                  observations[:, s, :])
+                indices[:, s, :] = block.symbol_indices
+                symbols[:, s, :] = block.symbols
+                counters.merge(block.counters)
+        self.last_block_counters = counters
+        self.last_block_detections = int(indices.shape[0] * indices.shape[1])
+        return FrameDetectionResult(symbols=symbols, symbol_indices=indices,
+                                    counters=counters)
 
     def detect_block(self, channel, received_block,
                      noise_variance: float = 0.0) -> np.ndarray:

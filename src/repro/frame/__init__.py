@@ -1,0 +1,50 @@
+"""Frame-level detection engine: one scheduler, every (subcarrier, symbol).
+
+Geosphere's throughput argument needs sphere detection on *every*
+subcarrier of *every* OFDM symbol; this package makes the whole frame one
+detection problem.  :mod:`~repro.frame.preprocess` triangularises all
+subcarrier channels in one stacked LAPACK sweep,
+:mod:`~repro.frame.scheduler` packs the S×T searches into a bounded lane
+pool (refilled from a frame-wide queue as easy searches finish), and
+:mod:`~repro.frame.engine` advances every packed search — heterogeneous
+per-slot ``R`` matrices included — through one breadth-synchronised
+frontier, bit-identical to the per-subcarrier path.
+:mod:`~repro.frame.results` carries the ``(T, S)``-shaped results and the
+frame-aggregated complexity counters back to the receive chain.
+"""
+
+from .engine import (
+    DEFAULT_LANE_CAPACITY,
+    frame_decode_per_subcarrier,
+    frame_decode_sphere,
+)
+from .preprocess import (
+    apply_frame_filters,
+    mmse_frame_filters,
+    rotate_frame,
+    triangularize_frame,
+    zf_frame_filters,
+)
+from .results import (
+    FrameDecodeResult,
+    FrameDetectionResult,
+    empty_frame_result,
+    hard_decision_frame,
+)
+from .scheduler import SlotScheduler
+
+__all__ = [
+    "DEFAULT_LANE_CAPACITY",
+    "FrameDecodeResult",
+    "FrameDetectionResult",
+    "SlotScheduler",
+    "apply_frame_filters",
+    "empty_frame_result",
+    "frame_decode_per_subcarrier",
+    "frame_decode_sphere",
+    "hard_decision_frame",
+    "mmse_frame_filters",
+    "rotate_frame",
+    "triangularize_frame",
+    "zf_frame_filters",
+]

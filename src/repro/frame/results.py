@@ -1,0 +1,119 @@
+"""Result structures for frame-level (whole-OFDM-frame) detection.
+
+A frame detection answers S×T questions at once — one per (OFDM symbol,
+subcarrier) pair — so the result tensors carry a leading ``(T, S)`` pair
+of axes, matching the layout of
+:attr:`repro.phy.transmitter.UplinkFrame.symbol_tensor` and what
+:func:`repro.phy.receiver.recover_uplink` consumes.  Complexity counters
+are aggregated over the *whole frame* in one object: the frame engine
+tallies per-element counts in flat arrays and sums them once, so the
+receive chain no longer pays S Python-level
+:meth:`~repro.sphere.counters.ComplexityCounters.merge` calls per frame.
+The aggregate still equals the sum of the per-(symbol, subcarrier) scalar
+counters exactly — the invariant the paper's complexity figures rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sphere.counters import ComplexityCounters
+
+__all__ = ["FrameDecodeResult", "FrameDetectionResult",
+           "empty_frame_result", "hard_decision_frame"]
+
+
+@dataclass
+class FrameDecodeResult:
+    """Outcome of decoding every (symbol, subcarrier) slot of one frame.
+
+    The frame-level analogue of
+    :class:`~repro.sphere.batch.BatchDecodeResult`, field for field.
+
+    Attributes
+    ----------
+    found:
+        ``(T, S)`` booleans; ``False`` only where a finite
+        ``initial_radius_sq`` excluded every leaf of that slot's tree.
+    symbol_indices:
+        ``(T, S, nc)`` flattened constellation indices (``-1`` where
+        ``found`` is ``False``).
+    symbols:
+        ``(T, S, nc)`` detected complex symbols (``nan`` where not found).
+    distances_sq:
+        ``(T, S)`` squared distances of the returned solutions (``inf``
+        where not found).
+    counters:
+        Complexity tallies aggregated over the whole frame; equal to the
+        sum of per-slot scalar counters exactly.
+    """
+
+    found: np.ndarray
+    symbol_indices: np.ndarray
+    symbols: np.ndarray
+    distances_sq: np.ndarray
+    counters: ComplexityCounters
+
+    @property
+    def num_symbols(self) -> int:
+        return int(self.found.shape[0])
+
+    @property
+    def num_subcarriers(self) -> int:
+        return int(self.found.shape[1])
+
+
+@dataclass
+class FrameDetectionResult:
+    """Hard decisions for every (symbol, subcarrier) slot of one frame.
+
+    The frame-level analogue of
+    :class:`~repro.detect.base.BatchDetectionResult`.
+
+    Attributes
+    ----------
+    symbols:
+        ``(T, S, nc)`` detected complex constellation points.
+    symbol_indices:
+        ``(T, S, nc)`` flattened constellation indices.
+    counters:
+        Frame-aggregated complexity tallies when the detector tracks them
+        (sphere and K-best decoders), else ``None``.
+    """
+
+    symbols: np.ndarray
+    symbol_indices: np.ndarray
+    counters: ComplexityCounters | None = None
+
+    @property
+    def detections(self) -> int:
+        """Number of MIMO detections the frame contains (``T * S``)."""
+        return int(self.symbol_indices.shape[0]
+                   * self.symbol_indices.shape[1])
+
+
+def empty_frame_result(num_symbols: int, num_subcarriers: int,
+                       num_streams: int) -> FrameDecodeResult:
+    """A correctly-shaped result for a frame with zero search problems
+    (no subcarriers or no symbols) — shared by every ``decode_frame``."""
+    return FrameDecodeResult(
+        found=np.zeros((num_symbols, num_subcarriers), dtype=bool),
+        symbol_indices=np.zeros((num_symbols, num_subcarriers, num_streams),
+                                dtype=np.int64),
+        symbols=np.zeros((num_symbols, num_subcarriers, num_streams),
+                         dtype=np.complex128),
+        distances_sq=np.zeros((num_symbols, num_subcarriers)),
+        counters=ComplexityCounters())
+
+
+def hard_decision_frame(constellation, symbol_indices) -> FrameDetectionResult:
+    """Wrap a ``(T, S, nc)`` index tensor as a counter-less frame result.
+
+    Shared by every slicing detector (ZF, MMSE, SIC) whose
+    ``detect_frame`` is a stacked-filter application plus symbol lookup.
+    """
+    indices = np.asarray(symbol_indices)
+    return FrameDetectionResult(symbols=constellation.points[indices],
+                                symbol_indices=indices)

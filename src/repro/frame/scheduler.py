@@ -1,0 +1,85 @@
+"""Slot scheduler: packs a frame's searches into a bounded set of lanes.
+
+The frame engine (:mod:`repro.frame.engine`) runs one breadth-synchronised
+frontier over every (symbol, subcarrier) search problem of a frame.  Its
+vectorised kernels hold per-(search, tree level) state in flat arrays, so
+*somebody* has to decide which rows of those arrays belong to which
+search.  That is this scheduler's whole job: it owns a fixed pool of
+``capacity`` **lanes** (each lane = ``num_streams`` contiguous kernel
+slots) and a frame-wide FIFO work queue of search problems.  Searches
+from *different subcarriers* share the same kernel arrays — the engine
+carries a per-element subcarrier index and gathers each element's ``R``
+rows on demand — and whenever a search finishes (its root enumerator runs
+dry, its node budget trips, or it is drained to the scalar tail) its lane
+is released and immediately refilled from the queue, so the lockstep
+frontier stays full instead of draining to a handful of stragglers once
+per subcarrier.
+
+The scheduler is deliberately dumb about *which* problem goes next (plain
+frame order): every search is independent, so packing order cannot change
+any result — it only changes how densely the kernel arrays are used.
+Correlated-channel frames (similar per-subcarrier ``R``) and
+heterogeneous-SNR frames (a few heavy subcarriers) both benefit from the
+same mechanism: cheap searches finish early and their lanes are recycled
+into the remaining heavy ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import require
+
+__all__ = ["SlotScheduler"]
+
+
+class SlotScheduler:
+    """Lane pool + frame-wide work queue for the frame engine.
+
+    Parameters
+    ----------
+    num_problems:
+        Total number of (symbol, subcarrier) searches in the frame.
+    capacity:
+        Number of lanes (concurrent lockstep searches).  Clamped to
+        ``num_problems`` — allocating lanes that could never fill would
+        only waste kernel memory.
+    """
+
+    def __init__(self, num_problems: int, capacity: int) -> None:
+        require(num_problems >= 0, "num_problems must be non-negative")
+        require(capacity >= 1, "scheduler needs at least one lane")
+        self.num_problems = num_problems
+        self.capacity = min(capacity, max(num_problems, 1))
+        self._next = 0
+        # Stack of free lanes; popping from the end hands out lane 0 first.
+        self._free = list(range(self.capacity - 1, -1, -1))
+
+    @property
+    def pending(self) -> int:
+        """Problems still waiting in the work queue."""
+        return self.num_problems - self._next
+
+    @property
+    def free_lanes(self) -> int:
+        return len(self._free)
+
+    def admit(self) -> tuple[np.ndarray, np.ndarray]:
+        """Fill free lanes from the queue; returns ``(lanes, elements)``.
+
+        Both arrays have one entry per newly admitted search.  Either may
+        be empty (no free lanes, or queue exhausted).
+        """
+        count = min(len(self._free), self.pending)
+        if count == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        lanes = np.array([self._free.pop() for _ in range(count)],
+                         dtype=np.int64)
+        elements = np.arange(self._next, self._next + count, dtype=np.int64)
+        self._next += count
+        return lanes, elements
+
+    def release(self, lanes) -> None:
+        """Return finished searches' lanes to the free pool."""
+        self._free.extend(int(lane) for lane in np.asarray(lanes).reshape(-1))

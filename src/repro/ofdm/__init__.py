@@ -1,6 +1,11 @@
 """OFDM substrate: 802.11-style numerology, modem, channel estimation."""
 
-from .estimation import estimate_channel, estimation_error, training_grid
+from .estimation import (
+    estimate_and_triangularize,
+    estimate_channel,
+    estimation_error,
+    training_grid,
+)
 from .modem import (
     PILOT_VALUE,
     apply_multipath,
@@ -16,6 +21,7 @@ __all__ = [
     "WIFI_20MHZ",
     "apply_multipath",
     "demodulate",
+    "estimate_and_triangularize",
     "estimate_channel",
     "estimation_error",
     "frequency_response",

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..frame.preprocess import triangularize_frame
 from ..utils.rng import as_generator
 from ..utils.validation import require
 from .params import OfdmParams
 
-__all__ = ["training_grid", "estimate_channel", "estimation_error"]
+__all__ = ["training_grid", "estimate_channel",
+           "estimate_and_triangularize", "estimation_error"]
 
 
 def training_grid(params: OfdmParams, rng=None) -> np.ndarray:
@@ -45,6 +47,24 @@ def estimate_channel(received_grids, training) -> np.ndarray:
     # column c of H[s] = received[c, s, :] / training[s]
     columns = received / training[None, :, None]
     return np.moveaxis(columns, 0, 2)
+
+
+def estimate_and_triangularize(received_grids, training):
+    """Estimate every subcarrier's channel and triangularise in one sweep.
+
+    The front end of the frame-level receive path: the LS estimate above
+    (already one vectorised division across all subcarriers) followed by
+    the stacked QR of :func:`repro.frame.preprocess.triangularize_frame`
+    — one LAPACK sweep instead of S separate factorisations.  Returns
+    ``(channels, q_stack, r_stack)`` with shapes ``(S, na, nc)``,
+    ``(S, na, nc)`` and ``(S, nc, nc)``; each ``(Q_s, R_s)`` slice is
+    bit-identical to :func:`repro.sphere.qr.triangularize` of the
+    corresponding estimate, so tree-search detection on estimated
+    channels is exactly the per-subcarrier receiver's program.
+    """
+    channels = estimate_channel(received_grids, training)
+    q_stack, r_stack = triangularize_frame(channels)
+    return channels, q_stack, r_stack
 
 
 def estimation_error(estimated, true) -> float:

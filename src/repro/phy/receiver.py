@@ -1,17 +1,22 @@
-"""Uplink receive chain: batched MIMO detection, then undo the transmit
-chain.
+"""Uplink receive chain: frame-level MIMO detection, then undo the
+transmit chain.
 
-The front half (:func:`detect_uplink`) drives the detector's batch API:
-each subcarrier's channel is handed the *full* block of OFDM-symbol
-observations in one ``detect_batch`` call, so per-channel preprocessing is
-paid once per frame, sphere detection runs the breadth-synchronised
-frontier engine across the block (see
-:mod:`repro.sphere.batch_search`), and the paper's complexity counters
-aggregate across the batch.  The back half turns the resulting hard symbol indices per
-(OFDM symbol, subcarrier, stream) into per-stream payloads and CRC
-verdicts.  Frame success is judged exactly the way real link layers judge
-it — by the frame check sequence — never by comparing against the
-transmitted bits.
+The front half (:func:`detect_uplink`) is frame-first: when the detector
+exposes a ``detect_frame`` entry point, the *whole* ``(S, na, nc)``
+channel tensor and ``(T, S, na)`` observation tensor go to the detector
+in one call — for sphere decoders that is the frame engine
+(:mod:`repro.frame.engine`), which preprocesses every subcarrier in one
+stacked QR sweep and advances all S×T searches through a single
+breadth-synchronised frontier, returning frame-level counter totals (no
+per-subcarrier Python merge).  ``frame_strategy="per_subcarrier"`` keeps
+the previous behaviour — one ``detect_batch`` call per subcarrier — as
+the differential baseline; both strategies are bit-identical in results
+and aggregated counters, and detectors without a frame entry point fall
+back to the per-subcarrier loop automatically.  The back half turns the
+resulting hard symbol indices per (OFDM symbol, subcarrier, stream) into
+per-stream payloads and CRC verdicts.  Frame success is judged exactly
+the way real link layers judge it — by the frame check sequence — never
+by comparing against the transmitted bits.
 """
 
 from __future__ import annotations
@@ -28,8 +33,9 @@ from ..sphere.counters import ComplexityCounters
 from ..utils.validation import require
 from .config import PhyConfig
 
-__all__ = ["StreamDecision", "UplinkDetection", "detect_uplink",
-           "recover_stream", "recover_stream_soft", "recover_uplink"]
+__all__ = ["FRAME_STRATEGIES", "StreamDecision", "UplinkDetection",
+           "detect_uplink", "recover_stream", "recover_stream_soft",
+           "recover_uplink"]
 
 
 @dataclass
@@ -54,15 +60,39 @@ class UplinkDetection:
     detections: int
 
 
-def detect_uplink(channels, received, detector,
-                  noise_variance: float) -> UplinkDetection:
-    """Detect a whole uplink frame through the batch API.
+FRAME_STRATEGIES = ("frame", "per_subcarrier")
+
+
+def detect_uplink(channels, received, detector, noise_variance: float,
+                  frame_strategy: str = "frame") -> UplinkDetection:
+    """Detect a whole uplink frame.
 
     ``channels`` is ``(S, na, nc)`` — one matrix per data subcarrier;
     ``received`` is ``(T, S, na)`` — the frequency-domain observations for
-    ``T`` OFDM symbols.  Each subcarrier's block of ``T`` vectors goes to
-    ``detector.detect_batch`` in a single call.
+    ``T`` OFDM symbols.
+
+    ``frame_strategy`` selects the dispatch:
+
+    ``"frame"`` (default)
+        Hand the whole frame to ``detector.detect_frame`` in one call.
+        The sphere/K-best path then runs the frame engine — one stacked
+        QR sweep, one frontier over all S×T searches, frame-level
+        counter totals (so this path never pays S Python-level
+        ``ComplexityCounters.merge`` calls) — and the linear/SIC paths
+        apply stacked per-subcarrier filter banks.  Detectors without a
+        ``detect_frame`` entry point silently take the loop below.
+    ``"per_subcarrier"``
+        The differential baseline: each subcarrier's block of ``T``
+        vectors goes to ``detector.detect_batch`` separately, counters
+        merged across subcarriers.
+
+    Both strategies return bit-identical symbol decisions and aggregated
+    counters (``tests/test_frame_engine.py`` and the
+    ``tests/test_link_golden.py`` goldens enforce this).
     """
+    require(frame_strategy in FRAME_STRATEGIES,
+            f"unknown frame strategy {frame_strategy!r}; choose from "
+            f"{FRAME_STRATEGIES}")
     matrices = np.asarray(channels, dtype=np.complex128)
     observations = np.asarray(received, dtype=np.complex128)
     require(matrices.ndim == 3, "channels must be (S, na, nc)")
@@ -75,6 +105,13 @@ def detect_uplink(channels, received, detector,
             f"{matrices.shape[1]}")
     num_symbols, num_subcarriers = observations.shape[:2]
     num_streams = matrices.shape[2]
+
+    detect_frame = getattr(detector, "detect_frame", None)
+    if frame_strategy == "frame" and detect_frame is not None:
+        result = detect_frame(matrices, observations, noise_variance)
+        return UplinkDetection(symbol_indices=result.symbol_indices,
+                               counters=result.counters,
+                               detections=num_symbols * num_subcarriers)
 
     indices = np.empty((num_symbols, num_subcarriers, num_streams),
                        dtype=np.int64)

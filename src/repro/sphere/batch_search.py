@@ -73,7 +73,7 @@ from .hess import HessEnumerator
 from .shabany import ShabanyEnumerator
 from .zigzag import GeosphereEnumerator
 
-__all__ = ["frontier_decode_batch", "FRONTIER_MIN_BATCH"]
+__all__ = ["frontier_decode_batch", "make_kernel", "FRONTIER_MIN_BATCH"]
 
 #: Below this batch size the array-op machinery costs more than the plain
 #: scalar loop (measured on 16-QAM 4x4: parity at 4 observations, a clear
@@ -556,8 +556,16 @@ class _ExhaustiveKernel(_KernelBase):
         return enum
 
 
-def _make_kernel(decoder, num_slots: int, levels: np.ndarray,
-                 ped: np.ndarray, prunes: np.ndarray):
+def make_kernel(decoder, num_slots: int, levels: np.ndarray,
+                ped: np.ndarray, prunes: np.ndarray):
+    """Instantiate the vectorised enumerator kernel for ``decoder``.
+
+    ``num_slots`` rows of per-(search, tree level) state; ``ped`` and
+    ``prunes`` are the per-*element* tally arrays the kernel increments
+    (element ids are whatever the caller passes to ``init``/``step`` —
+    the frame engine passes frame-wide problem ids while indexing slots
+    by scheduler lane).
+    """
     side = int(levels.shape[0])
     pruner = decoder._pruner
     table = pruner.table if pruner is not None else None
@@ -656,7 +664,7 @@ def frontier_decode_batch(decoder, r: np.ndarray, y_hat_batch: np.ndarray,
     prunes = np.zeros(num_vectors, dtype=np.int64)
 
     num_slots = num_vectors * num_streams
-    kernel = _make_kernel(decoder, num_slots, levels, ped, prunes)
+    kernel = make_kernel(decoder, num_slots, levels, ped, prunes)
 
     # Per-element search state; flat views share memory with the 2-D ones.
     level = np.full(num_vectors, top, dtype=np.int64)

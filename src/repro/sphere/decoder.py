@@ -273,10 +273,51 @@ class SphereDecoder:
         """Factorise ``channel`` once and :meth:`decode_batch` a block.
 
         ``received_block`` is ``(T, na)`` — one received vector per row.
-        This is the per-frame OFDM entry point: one QR per subcarrier per
-        frame, every symbol vector of the frame decoded against it.
+        This is the per-subcarrier OFDM entry point: one QR per subcarrier
+        per frame, every symbol vector of the frame decoded against it.
+        Whole-frame workloads should prefer :meth:`decode_frame`, which
+        amortises the engine across all subcarriers at once.
         """
         return qr_decode_block(self, channel, received_block)
+
+    def decode_frame(self, channels, received, *, capacity: int | None = None,
+                     drain_threshold: int | None = None,
+                     trace: dict | None = None):
+        """Decode a whole OFDM frame — every (symbol, subcarrier) slot —
+        through one breadth-synchronised frontier.
+
+        ``channels`` is ``(S, na, nc)``; ``received`` is ``(T, S, na)``.
+        All S channels are triangularised in one stacked QR sweep and the
+        S×T search problems run through a single frame engine instance
+        (:func:`repro.frame.engine.frame_decode_sphere`): searches from
+        different subcarriers share kernel arrays via the slot scheduler,
+        freed slots are refilled from the frame-wide work queue, and the
+        straggler drain happens once per frame instead of once per
+        subcarrier.  Results and aggregated counters are bit-identical to
+        per-subcarrier :meth:`decode_block` calls.  Decoders built with
+        ``batch_strategy="loop"`` (and tiny frames below
+        ``FRONTIER_MIN_BATCH`` searches) take the per-subcarrier
+        reference driver instead — same results, no frame frontier.
+
+        Returns a :class:`~repro.frame.results.FrameDecodeResult` with
+        ``(T, S)``-leading result tensors.
+        """
+        # Imported lazily: repro.frame builds on repro.sphere, so the
+        # module-level dependency must point that way only.
+        from ..frame.engine import (
+            frame_decode_per_subcarrier,
+            frame_decode_sphere,
+        )
+        from ..frame.preprocess import rotate_frame, triangularize_frame
+
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        if (self.batch_strategy == "loop"
+                or y_hat.shape[0] * y_hat.shape[1] < FRONTIER_MIN_BATCH):
+            return frame_decode_per_subcarrier(self, r_stack, y_hat)
+        return frame_decode_sphere(self, r_stack, y_hat, capacity=capacity,
+                                   drain_threshold=drain_threshold,
+                                   trace=trace)
 
     def _search(self, r: np.ndarray, y_hat: np.ndarray, diag: np.ndarray,
                 diag_sq: np.ndarray, make_enumerator) -> SphereDecoderResult:

@@ -141,23 +141,52 @@ class KBestDecoder:
         complexity counters replay the lazy enumerator's accounting in
         closed form, so the aggregate equals the sum of per-vector scalar
         counters bit-for-bit.
+
+        The tensor core is shared with :meth:`decode_frame` (this is the
+        one-subcarrier special case of the cross-subcarrier expansion).
         """
         num_streams = r.shape[1]
         batch = as_batch_matrix(y_hat_batch, num_streams, "y_hat_batch")
         num_vectors = batch.shape[0]
-        constellation = self.constellation
-        levels = constellation.levels
-        side = levels.shape[0]
-        counters = ComplexityCounters()
         if num_vectors == 0:
             return BatchDecodeResult(
                 found=np.zeros(0, dtype=bool),
                 symbol_indices=np.zeros((0, num_streams), dtype=np.int64),
                 symbols=np.zeros((0, num_streams), dtype=np.complex128),
                 distances_sq=np.zeros(0, dtype=np.float64),
-                counters=counters)
-        diag = np.real(np.diag(r))
-        diag_sq = diag * diag
+                counters=ComplexityCounters())
+        r_stack = np.asarray(r, dtype=np.complex128)[None, :, :]
+        sub = np.zeros(num_vectors, dtype=np.int64)
+        indices, distances, counters = self._expand_survivors(
+            r_stack, batch, sub)
+        return BatchDecodeResult(
+            found=np.ones(num_vectors, dtype=bool),
+            symbol_indices=indices,
+            symbols=self.constellation.points[indices],
+            distances_sq=distances,
+            counters=counters)
+
+    def _expand_survivors(self, r_stack: np.ndarray, batch: np.ndarray,
+                          sub: np.ndarray):
+        """Breadth-first expansion of ``N`` observations, each against its
+        own subcarrier's ``R`` (``r_stack[sub[n]]``).
+
+        Every per-level quantity that depends on the channel — the
+        interference coefficients, the diagonal normalisation, the
+        distance scaling — is gathered per element, so observations from
+        *different* subcarriers expand in the same dense tensor ops while
+        each one computes exactly the floating-point program of the
+        single-``R`` path.  Returns ``(indices, distances, counters)``
+        with the counters aggregated over all ``N`` searches.
+        """
+        num_streams = r_stack.shape[2]
+        num_vectors = batch.shape[0]
+        constellation = self.constellation
+        levels = constellation.levels
+        side = levels.shape[0]
+        counters = ComplexityCounters()
+        diag_stack = np.real(np.einsum("sii->si", r_stack))
+        diag_sq_stack = diag_stack * diag_stack
         k = self.k
         # Children taken per expanded node: the scalar loop requests K
         # candidates and the zigzag enumerator runs dry after |O|.
@@ -171,14 +200,15 @@ class KBestDecoder:
 
         for level in range(num_streams - 1, -1, -1):
             width = distances.shape[1]
+            diag_level = diag_stack[sub, level][:, None]
             # Interference of the already-decided upper levels, accumulated
             # column-by-column in the same order as the scalar path.
             # symbols[..., d] holds the symbol of level num_streams-1-d.
             acc = np.zeros((num_vectors, width), dtype=np.complex128)
             for offset in range(num_streams - 1 - level):
-                acc = acc + (r[level, level + 1 + offset]
+                acc = acc + (r_stack[sub, level, level + 1 + offset][:, None]
                              * symbols[:, :, -1 - offset])
-            points = (batch[:, level][:, None] - acc) / diag[level]
+            points = (batch[:, level][:, None] - acc) / diag_level
 
             counters.expanded_nodes += num_vectors * width
             flat_points = points.reshape(-1)
@@ -217,8 +247,8 @@ class KBestDecoder:
             # the scalar candidate list's insertion order under the stable
             # sort below.
             total = (distances[:, :, None]
-                     + diag_sq[level] * child_dist.reshape(
-                         num_vectors, width, per_node)
+                     + diag_sq_stack[sub, level][:, None, None]
+                     * child_dist.reshape(num_vectors, width, per_node)
                      ).reshape(num_vectors, width * per_node)
             new_width = min(k, width * per_node)
             keep = np.argsort(total, axis=1, kind="stable")[:, :new_width]
@@ -249,13 +279,46 @@ class KBestDecoder:
         best_cols = cols[:, 0, ::-1]
         best_rows = rows[:, 0, ::-1]
         indices = constellation.index_of(best_cols, best_rows)
-        return BatchDecodeResult(
-            found=np.ones(num_vectors, dtype=bool),
-            symbol_indices=indices,
-            symbols=constellation.points[indices],
-            distances_sq=distances[:, 0].copy(),
-            counters=counters)
+        return indices, distances[:, 0].copy(), counters
 
     def decode_block(self, channel, received_block) -> BatchDecodeResult:
         """Factorise ``channel`` once and :meth:`decode_batch` a block."""
         return qr_decode_block(self, channel, received_block)
+
+    def decode_frame(self, channels, received):
+        """Decode a whole OFDM frame across all subcarriers at once.
+
+        ``channels`` is ``(S, na, nc)``; ``received`` is ``(T, S, na)``.
+        One stacked QR sweep triangularises every subcarrier
+        (:mod:`repro.frame.preprocess`), then all S×T observations expand
+        through a *single* breadth-first tensor pass — K-best keeps every
+        search in lockstep by construction, so unlike the depth-first
+        frame engine no scheduler is needed: the survivor tensors simply
+        carry ``S*T`` rows, each gathering its own subcarrier's ``R``
+        entries.  Bit-identical, counters included, to per-subcarrier
+        :meth:`decode_block` calls.  Returns a
+        :class:`~repro.frame.results.FrameDecodeResult`.
+        """
+        # Lazy import: repro.frame builds on repro.sphere.
+        from ..frame.preprocess import rotate_frame, triangularize_frame
+        from ..frame.results import FrameDecodeResult, empty_frame_result
+
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)       # (S, T, nc)
+        num_subcarriers, num_symbols, num_streams = y_hat.shape
+        num_problems = num_subcarriers * num_symbols
+        if num_problems == 0:
+            return empty_frame_result(num_symbols, num_subcarriers,
+                                      num_streams)
+        sub = np.repeat(np.arange(num_subcarriers, dtype=np.int64),
+                        num_symbols)
+        indices, distances, counters = self._expand_survivors(
+            r_stack, y_hat.reshape(num_problems, num_streams), sub)
+        frame_shape = (num_subcarriers, num_symbols)
+        indices = indices.reshape(frame_shape + (num_streams,))
+        return FrameDecodeResult(
+            found=np.ones((num_symbols, num_subcarriers), dtype=bool),
+            symbol_indices=indices.transpose(1, 0, 2),
+            symbols=self.constellation.points[indices].transpose(1, 0, 2),
+            distances_sq=distances.reshape(frame_shape).T,
+            counters=counters)

@@ -1,0 +1,465 @@
+"""Frame-level detection engine: bit-exactness and scheduling behaviour.
+
+The frame engine's contract is the strongest in the repository: for every
+detector, decoding a whole frame through one scheduler — stacked QR,
+cross-subcarrier frontier, slot refill, straggler drain — must return
+*bit-identical* symbol decisions, distances and aggregated complexity
+counters to the per-subcarrier path (which is itself bit-identical to the
+scalar per-vector decoders).  These tests enforce that contract from the
+preprocessing up: stacked LAPACK sweeps against per-matrix calls, the
+engine against both per-subcarrier and scalar baselines across
+enumerators / radii / node budgets, correlated-channel and
+heterogeneous-SNR frames that exercise the slot-refill scheduler, and
+the receive chain's ``frame_strategy`` switch end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constellation import qam
+from repro.detect import (
+    MmseDetector,
+    MmseSicDetector,
+    SphereDetector,
+    ZeroForcingDetector,
+)
+from repro.frame import (
+    SlotScheduler,
+    frame_decode_per_subcarrier,
+    frame_decode_sphere,
+    mmse_frame_filters,
+    rotate_frame,
+    triangularize_frame,
+    zf_frame_filters,
+)
+from repro.frame.engine import DRAIN_THRESHOLD_CAP
+from repro.ofdm import estimate_and_triangularize, training_grid
+from repro.phy.receiver import detect_uplink
+from repro.sphere import KBestDecoder, SphereDecoder, triangularize
+from repro.sphere.counters import ComplexityCounters
+
+
+def _frame_instance(order, num_tx, num_rx, num_subcarriers, num_symbols,
+                    noise_scale=0.15, seed=0, channel_fn=None,
+                    noise_per_subcarrier=None):
+    """Random frame: per-subcarrier channels + (T, S, na) observations."""
+    rng = np.random.default_rng(seed)
+    constellation = qam(order)
+    if channel_fn is None:
+        channels = (rng.standard_normal((num_subcarriers, num_rx, num_tx))
+                    + 1j * rng.standard_normal(
+                        (num_subcarriers, num_rx, num_tx))) / np.sqrt(2.0)
+    else:
+        channels = np.stack([channel_fn(s, rng)
+                             for s in range(num_subcarriers)])
+    sent = rng.integers(0, order, size=(num_symbols, num_subcarriers, num_tx))
+    clean = np.einsum("tsc,sac->tsa", constellation.points[sent], channels)
+    noise = (rng.standard_normal(clean.shape)
+             + 1j * rng.standard_normal(clean.shape))
+    if noise_per_subcarrier is not None:
+        noise = noise * np.asarray(noise_per_subcarrier)[None, :, None]
+    received = clean + noise_scale * noise
+    return constellation, channels, received
+
+
+def _assert_frames_equal(got, ref):
+    assert np.array_equal(got.found, ref.found)
+    assert np.array_equal(got.symbol_indices, ref.symbol_indices)
+    assert np.array_equal(got.distances_sq, ref.distances_sq)
+    assert got.counters == ref.counters
+
+
+# ----------------------------------------------------------------------
+# Preprocessing: stacked sweeps vs per-subcarrier numpy.linalg calls
+# ----------------------------------------------------------------------
+
+class TestFramePreprocess:
+    def setup_method(self):
+        _, self.channels, self.received = _frame_instance(16, 4, 4, 12, 6)
+
+    def test_stacked_qr_bit_identical(self):
+        q_stack, r_stack = triangularize_frame(self.channels)
+        for s in range(self.channels.shape[0]):
+            q, r = triangularize(self.channels[s])
+            assert np.array_equal(q_stack[s], q)
+            assert np.array_equal(r_stack[s], r)
+
+    def test_stacked_rotation_bit_identical(self):
+        q_stack, _ = triangularize_frame(self.channels)
+        y_hat = rotate_frame(q_stack, self.received)
+        for s in range(self.channels.shape[0]):
+            expected = self.received[:, s, :] @ np.conj(q_stack[s])
+            assert np.array_equal(y_hat[s], expected)
+
+    def test_rank_deficient_subcarrier_rejected(self):
+        channels = self.channels.copy()
+        channels[3, :, 1] = channels[3, :, 0]
+        with pytest.raises(ValueError, match="subcarrier 3"):
+            triangularize_frame(channels)
+
+    def test_stacked_zf_filters_match_per_subcarrier(self):
+        filters = zf_frame_filters(self.channels)
+        for s in range(self.channels.shape[0]):
+            assert np.array_equal(filters[s], np.linalg.pinv(self.channels[s]))
+
+    def test_stacked_mmse_filters_match_per_subcarrier(self):
+        noise_variance = 0.07
+        filters = mmse_frame_filters(self.channels, noise_variance)
+        num_tx = self.channels.shape[2]
+        for s in range(self.channels.shape[0]):
+            matrix = self.channels[s]
+            gram = (matrix.conj().T @ matrix
+                    + noise_variance * np.eye(num_tx))
+            expected = np.linalg.solve(gram, matrix.conj().T)
+            assert np.array_equal(filters[s], expected)
+
+    def test_estimation_to_qr_pipeline(self):
+        """Time-orthogonal sounding straight into the stacked QR."""
+        rng = np.random.default_rng(5)
+        from repro.ofdm import WIFI_20MHZ
+        training = training_grid(WIFI_20MHZ, rng)
+        num_clients, num_rx = 4, 4
+        subcarriers = WIFI_20MHZ.num_data_subcarriers
+        true = (rng.standard_normal((subcarriers, num_rx, num_clients))
+                + 1j * rng.standard_normal(
+                    (subcarriers, num_rx, num_clients))) / np.sqrt(2.0)
+        grids = np.stack([(true[:, :, c] * training[:, None])
+                          for c in range(num_clients)])
+        channels, q_stack, r_stack = estimate_and_triangularize(
+            grids, training)
+        np.testing.assert_allclose(channels, true, atol=1e-12)
+        for s in (0, subcarriers // 2, subcarriers - 1):
+            q, r = triangularize(channels[s])
+            assert np.array_equal(q_stack[s], q)
+            assert np.array_equal(r_stack[s], r)
+
+
+# ----------------------------------------------------------------------
+# Slot scheduler
+# ----------------------------------------------------------------------
+
+class TestSlotScheduler:
+    def test_admit_release_refill(self):
+        scheduler = SlotScheduler(num_problems=7, capacity=3)
+        lanes, elements = scheduler.admit()
+        assert lanes.tolist() == [0, 1, 2]
+        assert elements.tolist() == [0, 1, 2]
+        assert scheduler.pending == 4
+        assert scheduler.free_lanes == 0
+        # Nothing free: admit is a no-op.
+        lanes, elements = scheduler.admit()
+        assert lanes.size == 0 and elements.size == 0
+        scheduler.release(np.array([1]))
+        lanes, elements = scheduler.admit()
+        assert lanes.tolist() == [1]
+        assert elements.tolist() == [3]
+        scheduler.release(np.array([0, 2, 1]))
+        lanes, elements = scheduler.admit()
+        assert sorted(lanes.tolist()) == [0, 1, 2]
+        assert elements.tolist() == [4, 5, 6]
+        assert scheduler.pending == 0
+        lanes, elements = scheduler.admit()
+        assert elements.size == 0
+
+    def test_capacity_clamped_to_problem_count(self):
+        scheduler = SlotScheduler(num_problems=2, capacity=100)
+        assert scheduler.capacity == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotScheduler(num_problems=4, capacity=0)
+        with pytest.raises(ValueError):
+            SlotScheduler(num_problems=-1, capacity=4)
+
+
+# ----------------------------------------------------------------------
+# The frame engine vs per-subcarrier vs scalar
+# ----------------------------------------------------------------------
+
+ENGINE_CONFIGS = [
+    ("zigzag", True, float("inf"), None),
+    ("zigzag", False, float("inf"), None),
+    ("shabany", False, float("inf"), None),
+    ("hess", False, float("inf"), None),
+    ("exhaustive", False, float("inf"), None),
+    ("zigzag", True, 3.0, None),
+    ("zigzag", True, float("inf"), 30),
+    ("shabany", False, 4.0, 60),
+]
+
+
+class TestFrameEngineEquivalence:
+    @pytest.mark.parametrize("enumerator,pruning,radius,budget",
+                             ENGINE_CONFIGS)
+    def test_frame_matches_per_subcarrier_and_scalar(self, enumerator,
+                                                     pruning, radius, budget):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=10, num_symbols=7, seed=21)
+        decoder = SphereDecoder(constellation, enumerator=enumerator,
+                                geometric_pruning=pruning,
+                                initial_radius_sq=radius, node_budget=budget)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        frame = frame_decode_sphere(decoder, r_stack, y_hat)
+        _assert_frames_equal(frame,
+                             frame_decode_per_subcarrier(decoder, r_stack,
+                                                         y_hat))
+        # Scalar ground truth, slot by slot, counters summed.
+        totals = ComplexityCounters()
+        for s in range(channels.shape[0]):
+            for t in range(received.shape[0]):
+                scalar = decoder.decode_triangular(r_stack[s], y_hat[s, t])
+                assert scalar.found == frame.found[t, s]
+                if scalar.found:
+                    assert np.array_equal(frame.symbol_indices[t, s],
+                                          scalar.symbol_indices)
+                assert frame.distances_sq[t, s] == scalar.distance_sq
+                totals.merge(scalar.counters)
+        assert frame.counters == totals
+
+    @pytest.mark.parametrize("capacity,drain_threshold", [
+        (1, None),     # fully serialised lanes — maximal refill traffic
+        (5, 0),        # refill, never drain
+        (13, 4),       # refill + drain
+        (None, None),  # defaults: whole frame in lockstep
+    ])
+    def test_capacity_and_drain_do_not_change_results(self, capacity,
+                                                      drain_threshold):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=9, num_symbols=6, seed=3)
+        decoder = SphereDecoder(constellation)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        reference = frame_decode_per_subcarrier(decoder, r_stack, y_hat)
+        got = frame_decode_sphere(decoder, r_stack, y_hat, capacity=capacity,
+                                  drain_threshold=drain_threshold)
+        _assert_frames_equal(got, reference)
+
+    def test_node_budget_with_lane_refill(self):
+        """Budget-stopped searches release their lanes mid-frame; the
+        scheduler hands those lanes to queued searches.  The reused
+        kernel slots must be fully re-initialised — any stale state would
+        show up against the per-subcarrier baseline."""
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=10, num_symbols=6, seed=61,
+            noise_scale=0.35)        # low SNR: budgets actually trip
+        decoder = SphereDecoder(constellation, node_budget=20)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        reference = frame_decode_per_subcarrier(decoder, r_stack, y_hat)
+        for capacity in (4, 11):
+            trace = {}
+            got = frame_decode_sphere(decoder, r_stack, y_hat,
+                                      capacity=capacity, trace=trace)
+            _assert_frames_equal(got, reference)
+            assert len(trace["admitted"]) > 1, \
+                "capacity below the problem count must trigger refills"
+
+    def test_correlated_channel_packing(self):
+        """Similar per-subcarrier R matrices (the correlated-channel
+        scenario of the frame engine's motivation): all subcarriers are
+        small perturbations of one base channel, so searches finish at
+        similar depths and the scheduler packs tightly — results must
+        still be exactly the per-subcarrier ones."""
+        rng = np.random.default_rng(17)
+        base = (rng.standard_normal((4, 4))
+                + 1j * rng.standard_normal((4, 4))) / np.sqrt(2.0)
+
+        def channel_fn(s, gen):
+            wobble = (gen.standard_normal((4, 4))
+                      + 1j * gen.standard_normal((4, 4)))
+            return base + 0.05 * wobble
+
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=16, num_symbols=8, seed=29,
+            channel_fn=channel_fn)
+        decoder = SphereDecoder(constellation)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        got = frame_decode_sphere(decoder, r_stack, y_hat, capacity=32)
+        _assert_frames_equal(got, frame_decode_per_subcarrier(
+            decoder, r_stack, y_hat))
+
+    def test_heterogeneous_snr_straggler_refill(self):
+        """A few noisy subcarriers produce heavy-tailed searches; with a
+        small lane pool the scheduler must keep refilling freed slots
+        (many admit batches) and the drain must fire exactly once, at the
+        frame tail — all without changing a single bit of the result."""
+        num_subcarriers, num_symbols = 12, 6
+        noise_per_subcarrier = np.ones(num_subcarriers)
+        noise_per_subcarrier[::4] = 4.0     # every 4th subcarrier is bad
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers, num_symbols, seed=41,
+            noise_per_subcarrier=noise_per_subcarrier)
+        decoder = SphereDecoder(constellation)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+
+        trace = {}
+        got = frame_decode_sphere(decoder, r_stack, y_hat, capacity=8,
+                                  drain_threshold=3, trace=trace)
+        _assert_frames_equal(got, frame_decode_per_subcarrier(
+            decoder, r_stack, y_hat))
+        admitted = trace["admitted"]
+        assert len(admitted) > 1, "small lane pool must trigger refills"
+        all_admitted = np.concatenate(admitted)
+        assert sorted(all_admitted.tolist()) == list(
+            range(num_subcarriers * num_symbols))
+        assert 0 < len(trace["drained"]) <= 3
+
+    def test_leaf_events_tighten_radius_monotonically(self):
+        """Schnorr–Euchner invariant, now across packed subcarriers: every
+        element's successive leaf distances strictly decrease."""
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=8, num_symbols=6, seed=13)
+        decoder = SphereDecoder(constellation)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        trace = {}
+        frame_decode_sphere(decoder, r_stack, y_hat, drain_threshold=0,
+                            trace=trace)
+        last: dict[int, float] = {}
+        for elements, distances in trace["leaf_events"]:
+            for element, distance in zip(elements.tolist(),
+                                         distances.tolist()):
+                if element in last:
+                    assert distance < last[element]
+                last[element] = distance
+        assert last, "the engine should have recorded leaf events"
+
+    def test_empty_frame(self):
+        constellation = qam(16)
+        decoder = SphereDecoder(constellation)
+        r_stack = np.zeros((0, 4, 4), dtype=np.complex128)
+        y_hat = np.zeros((0, 5, 4), dtype=np.complex128)
+        result = frame_decode_sphere(decoder, r_stack, y_hat)
+        assert result.symbol_indices.shape == (5, 0, 4)
+        assert result.counters == ComplexityCounters()
+
+    def test_decode_frame_honours_loop_strategy(self):
+        """``batch_strategy="loop"`` decoders take the per-subcarrier
+        reference driver — same results, no frontier."""
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=6, num_symbols=5, seed=7)
+        loop = SphereDecoder(constellation, batch_strategy="loop")
+        frontier = SphereDecoder(constellation)
+        _assert_frames_equal(loop.decode_frame(channels, received),
+                             frontier.decode_frame(channels, received))
+
+    def test_decode_frame_tiny_frame_fallback(self):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=2, num_symbols=1, seed=7)
+        decoder = SphereDecoder(constellation)
+        result = decoder.decode_frame(channels, received)
+        for s in range(2):
+            block = decoder.decode_block(channels[s], received[:, s, :])
+            assert np.array_equal(result.symbol_indices[:, s, :],
+                                  block.symbol_indices)
+
+    @pytest.mark.slow
+    def test_dense_constellation_sweep(self):
+        """64-QAM exercises wider kernels through the packed frontier."""
+        constellation, channels, received = _frame_instance(
+            64, 4, 4, num_subcarriers=8, num_symbols=5, noise_scale=0.08,
+            seed=47)
+        for enumerator, pruning in [("zigzag", True), ("hess", False)]:
+            decoder = SphereDecoder(constellation, enumerator=enumerator,
+                                    geometric_pruning=pruning)
+            q_stack, r_stack = triangularize_frame(channels)
+            y_hat = rotate_frame(q_stack, received)
+            got = frame_decode_sphere(decoder, r_stack, y_hat, capacity=16)
+            _assert_frames_equal(got, frame_decode_per_subcarrier(
+                decoder, r_stack, y_hat))
+
+
+# ----------------------------------------------------------------------
+# K-best cross-subcarrier expansion
+# ----------------------------------------------------------------------
+
+class TestKBestFrame:
+    @pytest.mark.parametrize("k", [1, 4, 16])
+    def test_frame_matches_per_subcarrier(self, k):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=9, num_symbols=6, seed=33)
+        decoder = KBestDecoder(constellation, k=k)
+        frame = decoder.decode_frame(channels, received)
+        totals = ComplexityCounters()
+        for s in range(channels.shape[0]):
+            block = decoder.decode_block(channels[s], received[:, s, :])
+            assert np.array_equal(frame.symbol_indices[:, s, :],
+                                  block.symbol_indices)
+            assert np.array_equal(frame.distances_sq[:, s],
+                                  block.distances_sq)
+            totals.merge(block.counters)
+        assert frame.counters == totals
+
+
+# ----------------------------------------------------------------------
+# The receive chain's strategy switch, across the detector zoo
+# ----------------------------------------------------------------------
+
+def _zoo(constellation):
+    from repro.detect import ExhaustiveMLDetector, HybridDetector
+    from repro.sphere import geosphere_decoder
+    return [
+        ZeroForcingDetector(constellation),
+        MmseDetector(constellation),
+        MmseSicDetector(constellation),
+        SphereDetector(geosphere_decoder(constellation)),
+        SphereDetector(SphereDecoder(constellation, enumerator="hess",
+                                     geometric_pruning=False)),
+        SphereDetector(KBestDecoder(constellation, k=8)),
+        ExhaustiveMLDetector(constellation),
+        HybridDetector(constellation),
+    ]
+
+
+class TestDetectUplinkStrategies:
+    def test_all_detectors_agree_across_strategies(self):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=8, num_symbols=5, seed=51)
+        noise_variance = 0.05
+        for detector in _zoo(constellation):
+            frame = detect_uplink(channels, received, detector,
+                                  noise_variance, frame_strategy="frame")
+            per_subcarrier = detect_uplink(channels, received, detector,
+                                           noise_variance,
+                                           frame_strategy="per_subcarrier")
+            assert np.array_equal(frame.symbol_indices,
+                                  per_subcarrier.symbol_indices), \
+                f"{detector.name} differs across frame strategies"
+            assert frame.detections == per_subcarrier.detections
+            if per_subcarrier.counters is None:
+                assert frame.counters is None
+            else:
+                assert frame.counters == per_subcarrier.counters
+
+    def test_sphere_counters_are_frame_level_totals(self):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=6, num_symbols=5, seed=53)
+        detector = SphereDetector(SphereDecoder(constellation))
+        detection = detect_uplink(channels, received, detector, 0.05)
+        # The adapter mirrors the frame totals it handed back.
+        assert detection.counters is detector.last_block_counters
+        assert detector.last_block_detections == 30
+
+    def test_unknown_strategy_rejected(self):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=3, num_symbols=2, seed=55)
+        with pytest.raises(ValueError, match="frame strategy"):
+            detect_uplink(channels, received,
+                          ZeroForcingDetector(constellation), 0.05,
+                          frame_strategy="bogus")
+
+    def test_default_drain_threshold_is_capped(self):
+        """Large frames drain at the absolute cap, not at N // 6."""
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=36, num_symbols=8, seed=57)
+        decoder = SphereDecoder(constellation)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        trace = {}
+        got = frame_decode_sphere(decoder, r_stack, y_hat, trace=trace)
+        assert len(trace.get("drained", [])) <= DRAIN_THRESHOLD_CAP
+        _assert_frames_equal(got, frame_decode_per_subcarrier(
+            decoder, r_stack, y_hat))

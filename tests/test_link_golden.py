@@ -14,16 +14,18 @@ script embedded in each test (seeds 2024/7) and say so in the commit.
 """
 
 import numpy as np
+import pytest
 
 from repro.detect import SphereDetector, ZeroForcingDetector
 from repro.phy import LinkSimulator, default_config, rayleigh_source
 from repro.sphere import geosphere_decoder
 
 
-def _run(detector_factory, snr_db):
+def _run(detector_factory, snr_db, frame_strategy="frame"):
     config = default_config(order=16, payload_bits=256)
     detector = detector_factory(config.constellation)
-    simulator = LinkSimulator(detector, config, snr_db=snr_db)
+    simulator = LinkSimulator(detector, config, snr_db=snr_db,
+                              frame_strategy=frame_strategy)
     return simulator.run(rayleigh_source(4, 4, rng=2024), num_frames=4, rng=7)
 
 
@@ -58,6 +60,25 @@ class TestGeosphereGolden:
         # Derived metric used by the Figs. 14-15 reproduction.
         np.testing.assert_allclose(stats.avg_ped_calcs_per_detection,
                                    46_777 / 768, rtol=1e-12)
+
+    @pytest.mark.parametrize("frame_strategy", ["frame", "per_subcarrier"])
+    def test_goldens_invariant_under_frame_strategy(self, frame_strategy):
+        """The frame engine's bit-exactness contract, pinned at link
+        level: switching :func:`repro.phy.receiver.detect_uplink` between
+        the whole-frame scheduler and the per-subcarrier loop must leave
+        every golden — error rate, throughput and the exact counter
+        integers — untouched."""
+        stats = _run(lambda c: SphereDetector(geosphere_decoder(c)), 11.0,
+                     frame_strategy=frame_strategy)
+        assert stats.stream_successes == 3
+        assert stats.frame_error_rate == 0.8125
+        counters = stats.counters
+        assert counters.ped_calcs == 46_777
+        assert counters.visited_nodes == 22_151
+        assert counters.expanded_nodes == 20_819
+        assert counters.leaves == 2_100
+        assert counters.geometric_prunes == 9_294
+        assert counters.complex_mults == 233_885
 
 
 class TestZeroForcingGolden:
