@@ -7,15 +7,29 @@ infrastructure on a single-antenna link: max-log LLR demapping
 against the hard-decision pipeline at the same SNRs.  Soft decisions buy
 roughly 2 dB — the classic coding-theory result, reproduced end to end.
 
+The second half moves to MIMO and the list sphere decoder: one whole
+OFDM frame soft-decoded through the breadth-synchronised frame engine
+(frame_strategy="frame") against the scalar per-slot list search, with
+bit-identical LLRs and the wall-clock ratio printed.
+
 Run:  python examples/soft_decoding.py
 """
+
+import time
 
 import numpy as np
 
 from repro.channel import awgn
 from repro.detect import max_log_llrs
+from repro.frame import (
+    frame_decode_soft,
+    frame_decode_soft_scalar,
+    rotate_frame,
+    triangularize_frame,
+)
 from repro.phy import default_config, encode_stream, recover_stream
 from repro.phy.receiver import recover_stream_soft
+from repro.sphere import ListSphereDecoder
 
 NUM_FRAMES = 10
 
@@ -41,6 +55,45 @@ def frame_success_rates(noise_variance: float, rng) -> tuple[float, float]:
     return hard_ok / NUM_FRAMES, soft_ok / NUM_FRAMES
 
 
+def frame_engine_demo() -> None:
+    """Soft-decode one MIMO frame both ways and print the latency ratio."""
+    rng = np.random.default_rng(23)
+    constellation = default_config(order=16).constellation
+    num_subcarriers, num_symbols, num_streams, num_rx = 32, 8, 4, 4
+    channels = (rng.standard_normal((num_subcarriers, num_rx, num_streams))
+                + 1j * rng.standard_normal(
+                    (num_subcarriers, num_rx, num_streams))) / np.sqrt(2.0)
+    sent = rng.integers(0, 16, size=(num_symbols, num_subcarriers,
+                                     num_streams))
+    clean = np.einsum("tsc,sac->tsa", constellation.points[sent], channels)
+    noise_variance = 0.04
+    received = clean + np.sqrt(noise_variance / 2.0) * (
+        rng.standard_normal(clean.shape)
+        + 1j * rng.standard_normal(clean.shape))
+
+    decoder = ListSphereDecoder(constellation, list_size=16)
+    q_stack, r_stack = triangularize_frame(channels)
+    y_hat = rotate_frame(q_stack, received)
+
+    start = time.perf_counter()
+    scalar = frame_decode_soft_scalar(decoder, r_stack, y_hat,
+                                      noise_variance)
+    scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    frame = frame_decode_soft(decoder, r_stack, y_hat, noise_variance)
+    frame_s = time.perf_counter() - start
+
+    identical = (np.array_equal(frame.llrs, scalar.llrs)
+                 and frame.counters == scalar.counters)
+    searches = num_subcarriers * num_symbols
+    print(f"\n16-QAM {num_streams}x{num_rx}, {num_subcarriers} subcarriers "
+          f"x {num_symbols} OFDM symbols = {searches} list searches")
+    print(f"scalar per-slot list search: {scalar_s * 1e3:7.1f} ms")
+    print(f"frame list frontier:         {frame_s * 1e3:7.1f} ms")
+    print(f"speedup: {scalar_s / frame_s:.1f}x, LLRs and counters "
+          f"bit-identical: {identical}")
+
+
 def main() -> None:
     rng = np.random.default_rng(17)
     print("16-QAM, rate-1/2 coded frames over AWGN")
@@ -51,6 +104,7 @@ def main() -> None:
     print("\nFSR = frame success rate.  Soft demapping keeps frames alive")
     print("in the regime where hard slicing already fails — the gain the")
     print("paper's future-work soft sphere decoder would carry to MIMO.")
+    frame_engine_demo()
 
 
 if __name__ == "__main__":

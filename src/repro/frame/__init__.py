@@ -28,19 +28,26 @@ from .preprocess import (
 from .results import (
     FrameDecodeResult,
     FrameDetectionResult,
+    SoftFrameResult,
     empty_frame_result,
+    empty_soft_frame_result,
     hard_decision_frame,
 )
 from .scheduler import SlotScheduler
+from .soft_engine import frame_decode_soft, frame_decode_soft_scalar
 
 __all__ = [
     "DEFAULT_LANE_CAPACITY",
     "FrameDecodeResult",
     "FrameDetectionResult",
     "SlotScheduler",
+    "SoftFrameResult",
     "apply_frame_filters",
     "empty_frame_result",
+    "empty_soft_frame_result",
     "frame_decode_per_subcarrier",
+    "frame_decode_soft",
+    "frame_decode_soft_scalar",
     "frame_decode_sphere",
     "hard_decision_frame",
     "mmse_frame_filters",

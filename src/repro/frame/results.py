@@ -21,8 +21,9 @@ import numpy as np
 
 from ..sphere.counters import ComplexityCounters
 
-__all__ = ["FrameDecodeResult", "FrameDetectionResult",
-           "empty_frame_result", "hard_decision_frame"]
+__all__ = ["FrameDecodeResult", "FrameDetectionResult", "SoftFrameResult",
+           "empty_frame_result", "empty_soft_frame_result",
+           "hard_decision_frame"]
 
 
 @dataclass
@@ -92,6 +93,69 @@ class FrameDetectionResult:
         """Number of MIMO detections the frame contains (``T * S``)."""
         return int(self.symbol_indices.shape[0]
                    * self.symbol_indices.shape[1])
+
+
+@dataclass
+class SoftFrameResult:
+    """Soft decisions for every (symbol, subcarrier) slot of one frame.
+
+    The frame-level analogue of
+    :class:`~repro.sphere.soft.SoftDecodeResult`: the LLR tensor is what
+    :func:`repro.phy.soft_link.simulate_frame_soft` slices per stream
+    into the soft Viterbi decoder.
+
+    Attributes
+    ----------
+    llrs:
+        ``(T, S, nc * bits_per_symbol)`` max-log LLRs (positive favours
+        bit 0), ordered per slot like
+        :meth:`~repro.constellation.qam.QamConstellation.indices_to_bits`
+        applied stream by stream.
+    symbol_indices:
+        ``(T, S, nc)`` hard decisions — each slot's best list member.
+    symbols:
+        ``(T, S, nc)`` the corresponding complex constellation points.
+    list_sizes:
+        ``(T, S)`` number of leaves each slot's search retained.
+    counters:
+        Complexity tallies aggregated over the whole frame; equal to the
+        sum of per-slot scalar ``decode_soft`` counters exactly.
+    """
+
+    llrs: np.ndarray
+    symbol_indices: np.ndarray
+    symbols: np.ndarray
+    list_sizes: np.ndarray
+    counters: ComplexityCounters
+
+    @property
+    def num_symbols(self) -> int:
+        return int(self.llrs.shape[0])
+
+    @property
+    def num_subcarriers(self) -> int:
+        return int(self.llrs.shape[1])
+
+    @property
+    def detections(self) -> int:
+        """Number of soft MIMO detections the frame contains (``T * S``)."""
+        return int(self.llrs.shape[0] * self.llrs.shape[1])
+
+
+def empty_soft_frame_result(num_symbols: int, num_subcarriers: int,
+                            num_streams: int,
+                            bits_per_symbol: int) -> SoftFrameResult:
+    """A correctly-shaped soft result for a frame with zero search
+    problems — shared by every soft ``decode_frame`` path."""
+    return SoftFrameResult(
+        llrs=np.zeros((num_symbols, num_subcarriers,
+                       num_streams * bits_per_symbol)),
+        symbol_indices=np.zeros((num_symbols, num_subcarriers, num_streams),
+                                dtype=np.int64),
+        symbols=np.zeros((num_symbols, num_subcarriers, num_streams),
+                         dtype=np.complex128),
+        list_sizes=np.zeros((num_symbols, num_subcarriers), dtype=np.int64),
+        counters=ComplexityCounters())
 
 
 def empty_frame_result(num_symbols: int, num_subcarriers: int,

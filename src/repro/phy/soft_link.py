@@ -6,6 +6,17 @@ produces per-bit LLRs for all streams, which are deinterleaved and decoded
 per stream.  This is the non-iterative soft receiver the paper names as
 the promising next step beyond hard-output Geosphere; the soft-vs-hard
 ablation quantifies what it buys.
+
+Like the hard receive chain, the soft front half is frame-first:
+``frame_strategy="frame"`` (default) hands the whole frame to
+:meth:`~repro.sphere.soft.ListSphereDecoder.decode_frame` — one stacked
+QR sweep, one breadth-synchronised list frontier over all S×T searches,
+one frame-wide LLR extraction.  ``frame_strategy="per_subcarrier"`` keeps
+the scalar list search per slot as the differential baseline, with the
+per-subcarrier QR hoisted out of the OFDM-symbol loop so the baseline
+pays only the search cost.  Both strategies are bit-identical — LLRs,
+list membership, counters — which the frame-engine tests and the soft
+link goldens enforce.
 """
 
 from __future__ import annotations
@@ -15,13 +26,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..channel.noise import awgn
+from ..frame.preprocess import rotate_frame, triangularize_frame
+from ..frame.soft_engine import frame_decode_soft_scalar
 from ..sphere.counters import ComplexityCounters
 from ..sphere.soft import ListSphereDecoder
 from ..utils.rng import as_generator
 from ..utils.validation import require
 from .config import PhyConfig
 from .link import _noise_variance, _normalise_channels
-from .receiver import StreamDecision, recover_stream_soft
+from .receiver import FRAME_STRATEGIES, StreamDecision, recover_stream_soft
 from .transmitter import build_uplink_frame, random_payloads
 
 __all__ = ["SoftFrameOutcome", "simulate_frame_soft"]
@@ -39,19 +52,25 @@ class SoftFrameOutcome:
 
 def simulate_frame_soft(channels, decoder: ListSphereDecoder,
                         config: PhyConfig, snr_db: float, rng=None,
-                        payloads=None) -> SoftFrameOutcome:
+                        payloads=None,
+                        frame_strategy: str = "frame") -> SoftFrameOutcome:
     """Simulate one uplink frame through the soft receive chain.
 
     Mirrors :func:`repro.phy.link.simulate_frame` but every detection
     yields LLRs; per-stream reliability sequences then run through
-    :func:`repro.phy.receiver.recover_stream_soft`.
+    :func:`repro.phy.receiver.recover_stream_soft`.  ``frame_strategy``
+    selects the soft detection dispatch exactly like
+    :func:`repro.phy.receiver.detect_uplink` does for the hard chain.
     """
     require(config.code is not None,
             "the soft receiver requires a coded configuration")
+    require(frame_strategy in FRAME_STRATEGIES,
+            f"unknown frame strategy {frame_strategy!r}; choose from "
+            f"{FRAME_STRATEGIES}")
     generator = as_generator(rng)
     num_subcarriers = config.ofdm.num_data_subcarriers
     matrices = _normalise_channels(channels, num_subcarriers)
-    num_clients = matrices.shape[2]
+    num_antennas, num_clients = matrices.shape[1:]
     require(decoder.constellation is config.constellation,
             "decoder and config must share the constellation")
 
@@ -63,21 +82,26 @@ def simulate_frame_soft(channels, decoder: ListSphereDecoder,
     bits_per_symbol = config.bits_per_symbol
 
     noise_variance = _noise_variance(matrices, snr_db)
-    # llrs[t, s, c*Q:(c+1)*Q] = stream c's bit reliabilities at (t, s).
-    llrs = np.empty((num_symbols, num_subcarriers,
-                     num_clients * bits_per_symbol))
-    totals = ComplexityCounters()
-    detections = 0
+    received = np.empty((num_symbols, num_subcarriers, num_antennas),
+                        dtype=np.complex128)
     for s in range(num_subcarriers):
-        channel = matrices[s]
-        sent = tensor[:, s, :]
-        clean = sent @ channel.T
-        received = clean + awgn(clean.shape, noise_variance, generator)
-        for t in range(num_symbols):
-            result = decoder.decode_soft(channel, received[t], noise_variance)
-            llrs[t, s, :] = result.llrs
-            totals.merge(result.counters)
-            detections += 1
+        clean = tensor[:, s, :] @ matrices[s].T
+        received[:, s, :] = clean + awgn(clean.shape, noise_variance,
+                                         generator)
+
+    if frame_strategy == "frame":
+        detection = decoder.decode_frame(matrices, received, noise_variance)
+    else:
+        # The differential baseline: scalar list searches per slot, with
+        # the per-subcarrier QR hoisted out of the OFDM-symbol loop.
+        q_stack, r_stack = triangularize_frame(matrices)
+        y_hat = rotate_frame(q_stack, received)
+        detection = frame_decode_soft_scalar(decoder, r_stack, y_hat,
+                                             noise_variance)
+    # llrs[t, s, c*Q:(c+1)*Q] = stream c's bit reliabilities at (t, s).
+    llrs = detection.llrs
+    totals = detection.counters
+    detections = detection.detections
 
     decisions: list[StreamDecision] = []
     for client in range(num_clients):

@@ -36,7 +36,13 @@ from .kbest import KBestDecoder
 from .pruning import GeometricPruner, lower_bound_sq_table
 from .qr import triangularize
 from .shabany import ShabanyEnumerator
-from .soft import ListSphereDecoder, SoftDecodeResult
+from .soft import (
+    ListSphereDecoder,
+    SoftBatchResult,
+    SoftDecodeResult,
+    soft_outputs_from_lists,
+    stacked_list_bits,
+)
 from .treesize import (
     exhaustive_distance_count,
     full_tree_node_count,
@@ -58,6 +64,7 @@ __all__ = [
     "KBestDecoder",
     "ListSphereDecoder",
     "ShabanyEnumerator",
+    "SoftBatchResult",
     "SoftDecodeResult",
     "SphereDecoder",
     "SphereDecoderResult",
@@ -72,6 +79,8 @@ __all__ = [
     "geosphere_zigzag_only",
     "lower_bound_sq_table",
     "shabany_decoder",
+    "soft_outputs_from_lists",
+    "stacked_list_bits",
     "triangularize",
     "worst_case_ped_calcs",
     "zigzag_order_table",

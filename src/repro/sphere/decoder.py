@@ -52,6 +52,30 @@ __all__ = [
 ENUMERATORS = ("zigzag", "shabany", "hess", "exhaustive")
 
 
+def resolve_enumerator_factory(constellation: QamConstellation,
+                               enumerator: str,
+                               pruner: GeometricPruner | None):
+    """Bind the enumerator dispatch once per decode (or batch).
+
+    The search instantiates one enumerator per expanded node; hoisting
+    the string comparison (and the pruner lookup) out of that hot path
+    is part of the batch API's shared-preprocessing contract.  Shared by
+    the hard decoder and the list (soft) decoder, which run the same
+    tree machinery under different radius policies.
+    """
+    if enumerator == "zigzag":
+        return lambda received, counters: GeosphereEnumerator(
+            constellation, received, counters, pruner)
+    if enumerator == "shabany":
+        return lambda received, counters: ShabanyEnumerator(
+            constellation, received, counters, pruner)
+    if enumerator == "hess":
+        return lambda received, counters: HessEnumerator(
+            constellation, received, counters)
+    return lambda received, counters: ExhaustiveEnumerator(
+        constellation, received, counters)
+
+
 @dataclass
 class SphereDecoderResult:
     """Outcome of one maximum-likelihood tree search.
@@ -148,26 +172,9 @@ class SphereDecoder:
 
     # ------------------------------------------------------------------
     def _enumerator_factory(self):
-        """Resolve the enumerator dispatch once per decode (or batch).
-
-        The search instantiates one enumerator per expanded node; hoisting
-        the string comparison (and the pruner lookup) out of that hot path
-        is part of the batch API's shared-preprocessing contract.
-        """
-        constellation = self.constellation
-        if self.enumerator == "zigzag":
-            pruner = self._pruner
-            return lambda received, counters: GeosphereEnumerator(
-                constellation, received, counters, pruner)
-        if self.enumerator == "shabany":
-            pruner = self._pruner
-            return lambda received, counters: ShabanyEnumerator(
-                constellation, received, counters, pruner)
-        if self.enumerator == "hess":
-            return lambda received, counters: HessEnumerator(
-                constellation, received, counters)
-        return lambda received, counters: ExhaustiveEnumerator(
-            constellation, received, counters)
+        """See :func:`resolve_enumerator_factory`."""
+        return resolve_enumerator_factory(self.constellation,
+                                          self.enumerator, self._pruner)
 
     # ------------------------------------------------------------------
     def decode(self, channel, received) -> SphereDecoderResult:

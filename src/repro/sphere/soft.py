@@ -10,7 +10,22 @@ LLRs then come from comparing the best list member with each bit value.
 Geosphere's enumeration and pruning apply unchanged — the only difference
 from :class:`~repro.sphere.decoder.SphereDecoder` is the radius policy —
 so the complexity benefits carry over to the soft setting, which is
-exactly the extension the paper proposes.
+exactly the extension the paper proposes.  That includes the *frame*
+benefits: :meth:`ListSphereDecoder.decode_batch` and
+:meth:`~ListSphereDecoder.decode_frame` run the list search through the
+breadth-synchronised frontier engine (:mod:`repro.frame.soft_engine`),
+with the scalar loop below kept as the bit-exact differential baseline.
+
+Bit-exactness contract
+----------------------
+The scalar search here is the reference program for the frame engine:
+interference accumulates column-by-column through the complex-multiply
+ufunc (the convention the vectorised engines match bit-for-bit), leaf
+lists follow ``heapq`` tuple order exactly — worst member = largest
+distance, ties broken towards the earliest-found leaf — and LLR
+extraction goes through the same vectorised
+:func:`soft_outputs_from_lists` helper for every path, so LLRs, list
+membership and counters are identical whichever driver ran the search.
 """
 
 from __future__ import annotations
@@ -20,15 +35,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..constellation.gray import gray_encode, int_to_bits
 from ..constellation.qam import QamConstellation
 from ..utils.validation import as_complex_vector, require
+from .batch import as_batch_matrix
+from .batch_search import FRONTIER_MIN_BATCH
 from .counters import ComplexityCounters
-from .enumerator import NodeEnumerator
+from .decoder import ENUMERATORS, resolve_enumerator_factory
 from .pruning import GeometricPruner
 from .qr import triangularize
-from .zigzag import GeosphereEnumerator
 
-__all__ = ["ListSphereDecoder", "SoftDecodeResult"]
+__all__ = ["ListSphereDecoder", "SoftDecodeResult", "SoftBatchResult",
+           "soft_outputs_from_lists", "stacked_list_bits"]
 
 
 @dataclass
@@ -47,25 +65,165 @@ class SoftDecodeResult:
     counters: ComplexityCounters
 
 
+@dataclass
+class SoftBatchResult:
+    """Soft decisions for a ``(T, nc)`` batch against one channel.
+
+    The soft analogue of :class:`~repro.sphere.batch.BatchDecodeResult`:
+    ``llrs`` is ``(T, nc * bits_per_symbol)``, ``list_sizes`` the number
+    of leaves each search retained, ``counters`` the exact sum of the
+    per-vector scalar counters.
+    """
+
+    symbol_indices: np.ndarray
+    symbols: np.ndarray
+    llrs: np.ndarray
+    list_sizes: np.ndarray
+    counters: ComplexityCounters
+
+
+@dataclass
+class _ListSearchState:
+    """Raw outcome of one list search: the leaf heap (``heapq`` order,
+    entries ``(-distance, discovery_index, cols, rows)``), the running
+    leaf counter and the complexity tallies."""
+
+    heap: list
+    leaf_counter: int
+    counters: ComplexityCounters
+
+
+def stacked_list_bits(constellation: QamConstellation, cols,
+                      rows) -> np.ndarray:
+    """Bit labels for stacked leaf lists, vectorised.
+
+    ``cols``/``rows`` are ``(..., nc)`` integer position arrays; the
+    result is ``(..., nc * bits_per_symbol)`` uint8 — per leaf exactly
+    :meth:`QamConstellation.indices_to_bits` of its symbol indices.
+    """
+    half = constellation.bits_per_axis
+    col_bits = int_to_bits(gray_encode(np.asarray(cols)), half)
+    row_bits = int_to_bits(gray_encode(np.asarray(rows)), half)
+    stacked = np.concatenate([col_bits, row_bits], axis=-1)
+    return stacked.reshape(stacked.shape[:-2] + (-1,))
+
+
+def soft_outputs_from_lists(constellation: QamConstellation, distances,
+                            sequence, cols, rows, counts,
+                            noise_variance: float, clamp: float):
+    """Vectorised max-log LLR extraction from stacked leaf lists.
+
+    One call covers any number of searches at once — the frame engine
+    passes every (subcarrier, OFDM symbol) slot of a frame, the scalar
+    decoder a single row — so all paths share the identical float
+    program.  ``distances`` and ``sequence`` are ``(E, L)`` (leaf
+    distance and discovery order), ``cols``/``rows`` ``(E, L, nc)``
+    lattice positions, ``counts`` the number of valid entries per list.
+
+    Returns ``(llrs, best_indices, best_symbols)``: per-bit max-log LLRs
+    ``(E, nc * bits_per_symbol)`` clipped to ``[-clamp, clamp]`` (bits
+    that appear with only one value across the list are clamped
+    one-sidedly), and the best list member — minimal ``(distance,
+    discovery order)``, the scalar sort key — as hard decisions.
+    """
+    require(noise_variance > 0.0, "noise variance must be positive")
+    counts = np.asarray(counts)
+    require(bool((counts >= 1).all()),
+            "list sphere decoder found no leaves")
+    num_lists, list_size = distances.shape
+    valid = np.arange(list_size)[None, :] < counts[:, None]
+    masked = np.where(valid, distances, np.inf)
+
+    best_distance = masked.min(axis=1)
+    tie = np.where(masked == best_distance[:, None], sequence,
+                   np.iinfo(np.int64).max)
+    best_slot = tie.argmin(axis=1)
+    iota = np.arange(num_lists)
+    best_indices = constellation.index_of(cols[iota, best_slot],
+                                          rows[iota, best_slot])
+
+    one = stacked_list_bits(constellation, cols, rows).astype(bool)
+    leaf_distance = masked[:, :, None]
+    zero_min = np.where(one, np.inf, leaf_distance).min(axis=1)
+    one_min = np.where(one, leaf_distance, np.inf).min(axis=1)
+    both = np.isfinite(zero_min) & np.isfinite(one_min)
+    gap = np.subtract(one_min, zero_min, out=np.zeros_like(one_min),
+                      where=both)
+    llrs = np.where(both, gap / noise_variance,
+                    np.where(np.isfinite(zero_min), clamp, -clamp))
+    llrs = np.clip(llrs, -clamp, clamp)
+    return llrs, best_indices, constellation.points[best_indices]
+
+
 class ListSphereDecoder:
-    """Depth-first list sphere decoder with Geosphere enumeration."""
+    """Depth-first list sphere decoder with pluggable enumeration.
+
+    Parameters
+    ----------
+    constellation:
+        The square QAM constellation every stream transmits.
+    list_size:
+        Number of best leaves retained for LLR extraction (>= 2).
+    geometric_pruning:
+        The paper's table-driven branch lower bound; only defined for the
+        frontier enumerators (``zigzag``/``shabany``), as in
+        :class:`~repro.sphere.decoder.SphereDecoder`.
+    clamp:
+        Magnitude bound for the returned LLRs (one-sided bits saturate
+        here).
+    enumerator:
+        One of ``"zigzag"`` (Geosphere), ``"shabany"``, ``"hess"``
+        (ETH-SD) or ``"exhaustive"`` — the list search reuses the hard
+        decoder's enumeration machinery unchanged.
+    node_budget:
+        Engineering guard: stop a search after this many visited nodes
+        and extract LLRs from the list collected so far (no longer the
+        exact best-``list_size`` set).  ``None`` keeps the exact
+        behaviour.
+    batch_strategy:
+        ``"frontier"`` (default) runs :meth:`decode_batch` /
+        :meth:`decode_frame` through the breadth-synchronised frame
+        engine; ``"loop"`` keeps the scalar search per row as the
+        differential baseline.  Both are bit-identical.
+    """
 
     def __init__(self, constellation: QamConstellation, list_size: int = 16,
-                 geometric_pruning: bool = True, clamp: float = 24.0) -> None:
+                 geometric_pruning: bool = True, clamp: float = 24.0,
+                 enumerator: str = "zigzag", node_budget: int | None = None,
+                 batch_strategy: str = "frontier") -> None:
         require(list_size >= 2, f"list size must be >= 2, got {list_size}")
         require(clamp > 0.0, "clamp must be positive")
+        require(enumerator in ENUMERATORS,
+                f"unknown enumerator {enumerator!r}; choose from {ENUMERATORS}")
+        if enumerator in ("hess", "exhaustive"):
+            require(not geometric_pruning,
+                    f"geometric pruning is not defined for the {enumerator!r} "
+                    "enumerator (it has no deferred proposals to prune)")
+        require(node_budget is None or node_budget >= 1,
+                "node budget must be positive when given")
+        require(batch_strategy in ("frontier", "loop"),
+                f"unknown batch strategy {batch_strategy!r}; "
+                "choose 'frontier' or 'loop'")
         self.constellation = constellation
         self.list_size = list_size
         self.clamp = clamp
+        self.enumerator = enumerator
+        self.geometric_pruning = geometric_pruning
+        self.node_budget = node_budget
+        self.batch_strategy = batch_strategy
+        #: The list search always opens with an infinite sphere — the
+        #: radius only becomes finite once the list fills.  The frame
+        #: engine reads this exactly like the hard decoder's attribute.
+        self.initial_radius_sq = float("inf")
         self._pruner = (GeometricPruner(constellation)
                         if geometric_pruning else None)
 
     # ------------------------------------------------------------------
-    def _make_enumerator(self, received: complex,
-                         counters: ComplexityCounters) -> NodeEnumerator:
-        return GeosphereEnumerator(self.constellation, received, counters,
-                                   self._pruner)
+    def _enumerator_factory(self):
+        return resolve_enumerator_factory(self.constellation,
+                                          self.enumerator, self._pruner)
 
+    # ------------------------------------------------------------------
     def decode_soft(self, channel, received,
                     noise_variance: float) -> SoftDecodeResult:
         """Collect the best leaves and derive max-log LLRs."""
@@ -74,30 +232,158 @@ class ListSphereDecoder:
         y = as_complex_vector(received, "received")
         require(y.shape[0] == channel.shape[0],
                 "received length does not match channel rows")
-        y_hat = q.conj().T @ y
+        return self.decode_soft_triangular(r, q.conj().T @ y, noise_variance)
 
+    def decode_soft_triangular(self, r: np.ndarray, y_hat,
+                               noise_variance: float) -> SoftDecodeResult:
+        """Run the list search on an already-triangularised system.
+
+        Exposed separately because OFDM receivers factorise each
+        subcarrier's channel once per frame and then soft-decode many
+        symbol vectors against the same ``R`` — the entry point the
+        differential baselines and the straggler drain build on.
+        """
+        require(noise_variance > 0.0, "noise variance must be positive")
+        diag = np.real(np.diag(r)).copy()
+        state = self._search_soft(r, y_hat, diag, diag * diag,
+                                  self._enumerator_factory())
+        return self._finalise_soft(state, noise_variance)
+
+    def decode_batch(self, r: np.ndarray, y_hat_batch,
+                     noise_variance: float) -> SoftBatchResult:
+        """Soft-decode a ``(T, nc)`` batch of observations against one
+        ``R``.
+
+        ``batch_strategy="frontier"`` (default) treats the batch as a
+        one-subcarrier frame and runs the breadth-synchronised list
+        engine; ``"loop"`` (and tiny batches below
+        ``FRONTIER_MIN_BATCH`` rows) run the scalar search per row.
+        Both are bit-identical — LLRs, list membership, counters.
+        """
+        batch = as_batch_matrix(y_hat_batch, r.shape[1], "y_hat_batch")
+        if (self.batch_strategy == "loop"
+                or batch.shape[0] < FRONTIER_MIN_BATCH):
+            return self._decode_batch_loop(r, batch, noise_variance)
+        # Imported lazily: repro.frame builds on repro.sphere, so the
+        # module-level dependency must point that way only.
+        from ..frame.soft_engine import frame_decode_soft
+
+        r_stack = np.asarray(r, dtype=np.complex128)[None]
+        frame = frame_decode_soft(self, r_stack, batch[None], noise_variance)
+        return SoftBatchResult(symbol_indices=frame.symbol_indices[:, 0],
+                               symbols=frame.symbols[:, 0],
+                               llrs=frame.llrs[:, 0],
+                               list_sizes=frame.list_sizes[:, 0],
+                               counters=frame.counters)
+
+    def _decode_batch_loop(self, r: np.ndarray, batch: np.ndarray,
+                           noise_variance: float) -> SoftBatchResult:
+        """Reference batch driver: one scalar list search per row."""
         num_streams = r.shape[1]
-        levels = self.constellation.levels
-        counters = ComplexityCounters()
         diag = np.real(np.diag(r)).copy()
         diag_sq = diag * diag
+        factory = self._enumerator_factory()
+        num_vectors = batch.shape[0]
+        num_bits = num_streams * self.constellation.bits_per_symbol
+        indices = np.empty((num_vectors, num_streams), dtype=np.int64)
+        symbols = np.empty((num_vectors, num_streams), dtype=np.complex128)
+        llrs = np.empty((num_vectors, num_bits))
+        sizes = np.empty(num_vectors, dtype=np.int64)
+        totals = ComplexityCounters()
+        for t in range(num_vectors):
+            state = self._search_soft(r, batch[t], diag, diag_sq, factory)
+            result = self._finalise_soft(state, noise_variance)
+            indices[t] = result.symbol_indices
+            symbols[t] = result.symbols
+            llrs[t] = result.llrs
+            sizes[t] = result.list_size_used
+            totals.merge(result.counters)
+        return SoftBatchResult(symbol_indices=indices, symbols=symbols,
+                               llrs=llrs, list_sizes=sizes, counters=totals)
 
-        # Max-heap (negated distances) of the best `list_size` leaves.
-        leaf_heap: list[tuple[float, int, tuple[int, ...], tuple[int, ...]]] = []
-        leaf_counter = 0
-        radius_sq = float("inf")
+    def decode_frame(self, channels, received, noise_variance: float, *,
+                     capacity: int | None = None,
+                     drain_threshold: int | None = None,
+                     trace: dict | None = None):
+        """Soft-decode a whole OFDM frame through one breadth-synchronised
+        frontier.
 
-        chosen_symbols = np.zeros(num_streams, dtype=np.complex128)
-        path_cols = np.zeros(num_streams, dtype=np.int64)
-        path_rows = np.zeros(num_streams, dtype=np.int64)
+        ``channels`` is ``(S, na, nc)``; ``received`` is ``(T, S, na)``.
+        All S channels are triangularised in one stacked QR sweep
+        (:mod:`repro.frame.preprocess`) and the S×T list searches run
+        through a single frame engine instance
+        (:func:`repro.frame.soft_engine.frame_decode_soft`), with one
+        straggler drain and one frame-wide LLR extraction.  LLRs, list
+        membership, hard decisions and aggregated counters are
+        bit-identical to scalar :meth:`decode_soft_triangular` calls per
+        slot.  Decoders built with ``batch_strategy="loop"`` (and tiny
+        frames) take the scalar reference driver instead.
 
+        Returns a :class:`~repro.frame.results.SoftFrameResult` with
+        ``(T, S)``-leading result tensors.
+        """
+        from ..frame.preprocess import rotate_frame, triangularize_frame
+        from ..frame.soft_engine import (
+            frame_decode_soft,
+            frame_decode_soft_scalar,
+        )
+
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        if (self.batch_strategy == "loop"
+                or y_hat.shape[0] * y_hat.shape[1] < FRONTIER_MIN_BATCH):
+            return frame_decode_soft_scalar(self, r_stack, y_hat,
+                                            noise_variance)
+        return frame_decode_soft(self, r_stack, y_hat, noise_variance,
+                                 capacity=capacity,
+                                 drain_threshold=drain_threshold,
+                                 trace=trace)
+
+    # ------------------------------------------------------------------
+    def _search_soft(self, r: np.ndarray, y_hat, diag: np.ndarray,
+                     diag_sq: np.ndarray, make_enumerator) -> _ListSearchState:
+        """One list search with all shared state hoisted."""
+        num_streams = r.shape[1]
+        counters = ComplexityCounters()
         top = num_streams - 1
         counters.expanded_nodes += 1
-        stack: list[tuple[int, float, NodeEnumerator]] = [
-            (top, 0.0, self._make_enumerator(complex(y_hat[top] / diag[top]),
-                                             counters))
-        ]
+        stack = [(top, 0.0,
+                  make_enumerator(complex(y_hat[top] / diag[top]), counters))]
+        return self._continue_search_soft(
+            r, y_hat, diag, diag_sq, make_enumerator,
+            stack=stack,
+            radius_sq=float("inf"),
+            counters=counters,
+            chosen_symbols=np.zeros(num_streams, dtype=np.complex128),
+            path_cols=np.zeros(num_streams, dtype=np.int64),
+            path_rows=np.zeros(num_streams, dtype=np.int64),
+            leaf_heap=[],
+            leaf_counter=0)
+
+    def _continue_search_soft(self, r: np.ndarray, y_hat, diag: np.ndarray,
+                              diag_sq: np.ndarray, make_enumerator, *, stack,
+                              radius_sq, counters, chosen_symbols, path_cols,
+                              path_rows, leaf_heap,
+                              leaf_counter) -> _ListSearchState:
+        """Run the list-search loop from an explicit mid-search state.
+
+        :meth:`_search_soft` seeds it with a fresh root; the frame engine
+        (:mod:`repro.frame.soft_engine`) seeds it with a reconstructed
+        stack and leaf heap when it drains straggler searches out of the
+        lockstep frontier, so both callers execute the *same* loop body
+        and stay bit-identical.  The loop is
+        :meth:`~repro.sphere.decoder.SphereDecoder._continue_search`
+        under a different radius policy: leaves land in a bounded
+        max-heap, and once the heap is full the sphere shrinks to its
+        worst member instead of the single best leaf.
+        """
+        num_streams = r.shape[1]
+        levels = self.constellation.levels
+        list_size = self.list_size
+        node_budget = self.node_budget
         while stack:
+            if node_budget is not None and counters.visited_nodes >= node_budget:
+                break
             level, parent_distance, enumerator = stack[-1]
             budget = (radius_sq - parent_distance) / diag_sq[level]
             candidate = enumerator.next_candidate(budget)
@@ -115,54 +401,54 @@ class ListSphereDecoder:
                 leaf_counter += 1
                 entry = (-distance, leaf_counter, tuple(path_cols),
                          tuple(path_rows))
-                if len(leaf_heap) < self.list_size:
+                if len(leaf_heap) < list_size:
                     heapq.heappush(leaf_heap, entry)
                 else:
                     heapq.heappushpop(leaf_heap, entry)
-                if len(leaf_heap) == self.list_size:
+                if len(leaf_heap) == list_size:
                     # Prune against the worst list member: the search only
                     # needs leaves better than the current list tail.
                     radius_sq = -leaf_heap[0][0]
                 continue
             next_level = level - 1
-            interference = complex(
-                r[next_level, next_level + 1:] @ chosen_symbols[next_level + 1:])
-            point = complex((y_hat[next_level] - interference)
-                            / diag[next_level])
+            # Accumulate column-by-column (ascending), multiplying via the
+            # ufunc — the hard scalar search's convention, which the
+            # vectorised frame engine matches bit-for-bit.
+            interference = 0.0 + 0.0j
+            for column in range(next_level + 1, num_streams):
+                interference = interference + np.multiply(
+                    r[next_level, column], chosen_symbols[column])
+            received_point = complex((y_hat[next_level] - interference)
+                                     / diag[next_level])
             counters.expanded_nodes += 1
             stack.append((next_level, distance,
-                          self._make_enumerator(point, counters)))
+                          make_enumerator(received_point, counters)))
 
         counters.complex_mults = counters.ped_calcs * (num_streams + 1)
-        require(bool(leaf_heap), "list sphere decoder found no leaves")
-        entries = sorted(leaf_heap, key=lambda item: -item[0])
-        distances = np.array([-item[0] for item in entries])
-        bits_per_leaf = []
-        for _, _, cols, rows in entries:
-            indices = self.constellation.index_of(np.asarray(cols),
-                                                  np.asarray(rows))
-            bits_per_leaf.append(self.constellation.indices_to_bits(indices))
-        bit_matrix = np.stack(bits_per_leaf)            # (L, nc*Q)
-
-        # Max-log LLRs over the list; clamp bits with a one-sided list.
-        num_bits = bit_matrix.shape[1]
-        llrs = np.empty(num_bits)
-        for bit in range(num_bits):
-            zero = distances[bit_matrix[:, bit] == 0]
-            one = distances[bit_matrix[:, bit] == 1]
-            if zero.size and one.size:
-                llrs[bit] = (one.min() - zero.min()) / noise_variance
-            elif zero.size:
-                llrs[bit] = self.clamp
-            else:
-                llrs[bit] = -self.clamp
-        llrs = np.clip(llrs, -self.clamp, self.clamp)
-
-        best_cols = np.asarray(entries[0][2])
-        best_rows = np.asarray(entries[0][3])
-        best_indices = self.constellation.index_of(best_cols, best_rows)
-        return SoftDecodeResult(symbol_indices=np.asarray(best_indices),
-                                symbols=self.constellation.points[best_indices],
-                                llrs=llrs,
-                                list_size_used=len(entries),
+        return _ListSearchState(heap=leaf_heap, leaf_counter=leaf_counter,
                                 counters=counters)
+
+    def _finalise_soft(self, state: _ListSearchState,
+                       noise_variance: float) -> SoftDecodeResult:
+        """Turn a finished search state into LLRs and hard decisions."""
+        require(bool(state.heap), "list sphere decoder found no leaves")
+        count = len(state.heap)
+        num_streams = len(state.heap[0][2])
+        distances = np.full((1, self.list_size), np.inf)
+        sequence = np.zeros((1, self.list_size), dtype=np.int64)
+        cols = np.zeros((1, self.list_size, num_streams), dtype=np.int64)
+        rows = np.zeros((1, self.list_size, num_streams), dtype=np.int64)
+        for slot, (neg_distance, seq, leaf_cols, leaf_rows) in \
+                enumerate(state.heap):
+            distances[0, slot] = -neg_distance
+            sequence[0, slot] = seq
+            cols[0, slot] = leaf_cols
+            rows[0, slot] = leaf_rows
+        llrs, best_indices, best_symbols = soft_outputs_from_lists(
+            self.constellation, distances, sequence, cols, rows,
+            np.array([count]), noise_variance, self.clamp)
+        return SoftDecodeResult(symbol_indices=best_indices[0],
+                                symbols=best_symbols[0],
+                                llrs=llrs[0],
+                                list_size_used=count,
+                                counters=state.counters)

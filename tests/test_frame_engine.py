@@ -26,6 +26,8 @@ from repro.detect import (
 from repro.frame import (
     SlotScheduler,
     frame_decode_per_subcarrier,
+    frame_decode_soft,
+    frame_decode_soft_scalar,
     frame_decode_sphere,
     mmse_frame_filters,
     rotate_frame,
@@ -35,7 +37,12 @@ from repro.frame import (
 from repro.frame.engine import DRAIN_THRESHOLD_CAP
 from repro.ofdm import estimate_and_triangularize, training_grid
 from repro.phy.receiver import detect_uplink
-from repro.sphere import KBestDecoder, SphereDecoder, triangularize
+from repro.sphere import (
+    KBestDecoder,
+    ListSphereDecoder,
+    SphereDecoder,
+    triangularize,
+)
 from repro.sphere.counters import ComplexityCounters
 
 
@@ -370,6 +377,225 @@ class TestFrameEngineEquivalence:
             got = frame_decode_sphere(decoder, r_stack, y_hat, capacity=16)
             _assert_frames_equal(got, frame_decode_per_subcarrier(
                 decoder, r_stack, y_hat))
+
+
+# ----------------------------------------------------------------------
+# The soft (list) frame engine vs the scalar list search
+# ----------------------------------------------------------------------
+
+SOFT_NOISE_VARIANCE = 0.045
+
+#: (enumerator, pruning, list_size, clamp, node_budget) — every
+#: enumerator, list sizes from minimal to covering, a tight clamp and a
+#: node budget that actually truncates searches.
+SOFT_CONFIGS = [
+    ("zigzag", True, 8, 24.0, None),
+    ("zigzag", False, 4, 24.0, None),
+    ("shabany", False, 6, 24.0, None),
+    ("hess", False, 8, 24.0, None),
+    ("exhaustive", False, 16, 6.0, None),
+    ("zigzag", True, 2, 24.0, None),
+    ("zigzag", True, 8, 24.0, 40),
+]
+
+
+def _assert_soft_frames_equal(got, ref):
+    assert np.array_equal(got.llrs, ref.llrs)
+    assert np.array_equal(got.symbol_indices, ref.symbol_indices)
+    assert np.array_equal(got.symbols, ref.symbols)
+    assert np.array_equal(got.list_sizes, ref.list_sizes)
+    assert got.counters == ref.counters
+
+
+class TestSoftFrameEquivalence:
+    @pytest.mark.parametrize("enumerator,pruning,list_size,clamp,budget",
+                             SOFT_CONFIGS)
+    def test_frame_matches_scalar_decode_soft(self, enumerator, pruning,
+                                              list_size, clamp, budget):
+        """The strongest soft contract: the whole-frame list frontier —
+        bounded per-slot leaf lists, worst-member pruning, one drain, one
+        frame-wide LLR extraction — returns bit-identical LLRs, list
+        membership, hard decisions and counter totals to running the
+        scalar list search slot by slot."""
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=8, num_symbols=5, seed=71)
+        decoder = ListSphereDecoder(constellation, list_size=list_size,
+                                    geometric_pruning=pruning, clamp=clamp,
+                                    enumerator=enumerator, node_budget=budget)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        frame = frame_decode_soft(decoder, r_stack, y_hat,
+                                  SOFT_NOISE_VARIANCE)
+        _assert_soft_frames_equal(
+            frame, frame_decode_soft_scalar(decoder, r_stack, y_hat,
+                                            SOFT_NOISE_VARIANCE))
+        # Scalar ground truth, slot by slot, counters summed.
+        totals = ComplexityCounters()
+        for s in range(channels.shape[0]):
+            for t in range(received.shape[0]):
+                scalar = decoder.decode_soft_triangular(
+                    r_stack[s], y_hat[s, t], SOFT_NOISE_VARIANCE)
+                assert np.array_equal(frame.llrs[t, s], scalar.llrs)
+                assert np.array_equal(frame.symbol_indices[t, s],
+                                      scalar.symbol_indices)
+                assert frame.list_sizes[t, s] == scalar.list_size_used
+                totals.merge(scalar.counters)
+        assert frame.counters == totals
+
+    @pytest.mark.parametrize("capacity,drain_threshold", [
+        (1, None),     # fully serialised lanes — maximal refill traffic
+        (5, 0),        # refill, never drain
+        (13, 4),       # refill + drain
+        (None, None),  # defaults: whole frame in lockstep
+    ])
+    def test_capacity_and_drain_do_not_change_results(self, capacity,
+                                                      drain_threshold):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=9, num_symbols=6, seed=73)
+        decoder = ListSphereDecoder(constellation, list_size=8)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        reference = frame_decode_soft_scalar(decoder, r_stack, y_hat,
+                                             SOFT_NOISE_VARIANCE)
+        got = frame_decode_soft(decoder, r_stack, y_hat, SOFT_NOISE_VARIANCE,
+                                capacity=capacity,
+                                drain_threshold=drain_threshold)
+        _assert_soft_frames_equal(got, reference)
+
+    def test_heterogeneous_snr_straggler_refill(self):
+        """Noisy subcarriers make heavy-tailed list searches; the lane
+        refill and the once-per-frame drain must leave every LLR bit
+        untouched."""
+        num_subcarriers, num_symbols = 10, 5
+        noise_per_subcarrier = np.ones(num_subcarriers)
+        noise_per_subcarrier[::3] = 3.0
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers, num_symbols, seed=79,
+            noise_per_subcarrier=noise_per_subcarrier)
+        decoder = ListSphereDecoder(constellation, list_size=8)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        trace = {}
+        got = frame_decode_soft(decoder, r_stack, y_hat, SOFT_NOISE_VARIANCE,
+                                capacity=8, drain_threshold=3, trace=trace)
+        _assert_soft_frames_equal(got, frame_decode_soft_scalar(
+            decoder, r_stack, y_hat, SOFT_NOISE_VARIANCE))
+        admitted = trace["admitted"]
+        assert len(admitted) > 1, "small lane pool must trigger refills"
+        all_admitted = np.concatenate(admitted)
+        assert sorted(all_admitted.tolist()) == list(
+            range(num_subcarriers * num_symbols))
+        assert 0 < len(trace["drained"]) <= 3
+
+    def test_radius_tightens_to_worst_list_member(self):
+        """The list radius policy, observed through the leaf trace: a
+        slot's sphere stays infinite until its list fills, then every
+        accepted leaf is at least as good as the current worst member."""
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=6, num_symbols=4, seed=83)
+        list_size = 4
+        decoder = ListSphereDecoder(constellation, list_size=list_size)
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)
+        trace = {}
+        frame_decode_soft(decoder, r_stack, y_hat, SOFT_NOISE_VARIANCE,
+                          drain_threshold=0, trace=trace)
+        lists: dict[int, list[float]] = {}
+        for elements, distances in trace["leaf_events"]:
+            for element, distance in zip(elements.tolist(),
+                                         distances.tolist()):
+                seen = lists.setdefault(element, [])
+                if len(seen) >= list_size:
+                    assert distance <= max(seen), \
+                        "a full list only admits leaves at least as good " \
+                        "as its worst member"
+                    seen.remove(max(seen))
+                seen.append(distance)
+        assert lists, "the engine should have recorded leaf events"
+
+    def test_decode_frame_honours_loop_strategy(self):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=6, num_symbols=5, seed=7)
+        loop = ListSphereDecoder(constellation, list_size=8,
+                                 batch_strategy="loop")
+        frontier = ListSphereDecoder(constellation, list_size=8)
+        _assert_soft_frames_equal(
+            loop.decode_frame(channels, received, SOFT_NOISE_VARIANCE),
+            frontier.decode_frame(channels, received, SOFT_NOISE_VARIANCE))
+
+    def test_decode_batch_matches_loop(self):
+        constellation, channels, received = _frame_instance(
+            16, 4, 4, num_subcarriers=1, num_symbols=12, seed=89)
+        frontier = ListSphereDecoder(constellation, list_size=8)
+        loop = ListSphereDecoder(constellation, list_size=8,
+                                 batch_strategy="loop")
+        q, r = triangularize(channels[0])
+        y_hat = received[:, 0, :] @ np.conj(q)
+        a = frontier.decode_batch(r, y_hat, SOFT_NOISE_VARIANCE)
+        b = loop.decode_batch(r, y_hat, SOFT_NOISE_VARIANCE)
+        assert np.array_equal(a.llrs, b.llrs)
+        assert np.array_equal(a.symbol_indices, b.symbol_indices)
+        assert np.array_equal(a.list_sizes, b.list_sizes)
+        assert a.counters == b.counters
+
+    def test_empty_frame(self):
+        constellation = qam(16)
+        decoder = ListSphereDecoder(constellation, list_size=8)
+        r_stack = np.zeros((0, 4, 4), dtype=np.complex128)
+        y_hat = np.zeros((0, 5, 4), dtype=np.complex128)
+        result = frame_decode_soft(decoder, r_stack, y_hat,
+                                   SOFT_NOISE_VARIANCE)
+        assert result.llrs.shape == (5, 0, 16)
+        assert result.counters == ComplexityCounters()
+
+    @pytest.mark.slow
+    def test_dense_constellation_sweep(self):
+        """64-QAM exercises wide kernels and large leaf lists through the
+        packed soft frontier."""
+        constellation, channels, received = _frame_instance(
+            64, 4, 4, num_subcarriers=6, num_symbols=4, noise_scale=0.08,
+            seed=97)
+        for enumerator, pruning in [("zigzag", True), ("hess", False)]:
+            decoder = ListSphereDecoder(constellation, list_size=16,
+                                        enumerator=enumerator,
+                                        geometric_pruning=pruning)
+            q_stack, r_stack = triangularize_frame(channels)
+            y_hat = rotate_frame(q_stack, received)
+            got = frame_decode_soft(decoder, r_stack, y_hat, 0.02,
+                                    capacity=16)
+            _assert_soft_frames_equal(got, frame_decode_soft_scalar(
+                decoder, r_stack, y_hat, 0.02))
+
+
+class TestSimulateFrameSoftStrategies:
+    def test_strategies_agree_end_to_end(self):
+        from repro.phy import default_config, rayleigh_source
+        from repro.phy.soft_link import simulate_frame_soft
+
+        config = default_config(order=16, payload_bits=184)
+        decoder = ListSphereDecoder(config.constellation, list_size=8)
+        outcomes = {}
+        for strategy in ("frame", "per_subcarrier"):
+            source = rayleigh_source(4, 2, rng=31)
+            outcomes[strategy] = simulate_frame_soft(
+                source(), decoder, config, 12.0,
+                rng=np.random.default_rng(5), frame_strategy=strategy)
+        frame, per_subcarrier = (outcomes["frame"],
+                                 outcomes["per_subcarrier"])
+        assert np.array_equal(frame.stream_success,
+                              per_subcarrier.stream_success)
+        assert frame.detections == per_subcarrier.detections
+        assert frame.counters == per_subcarrier.counters
+
+    def test_unknown_strategy_rejected(self):
+        from repro.phy import default_config
+        from repro.phy.soft_link import simulate_frame_soft
+
+        config = default_config(order=16, payload_bits=184)
+        decoder = ListSphereDecoder(config.constellation, list_size=8)
+        with pytest.raises(ValueError, match="frame strategy"):
+            simulate_frame_soft(np.eye(4), decoder, config, 12.0,
+                                frame_strategy="bogus")
 
 
 # ----------------------------------------------------------------------

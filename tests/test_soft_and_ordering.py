@@ -144,10 +144,59 @@ class TestListSphereDecoder:
             ListSphereDecoder(qam(4), list_size=1)
         with pytest.raises(ValueError):
             ListSphereDecoder(qam(4), clamp=0.0)
+        with pytest.raises(ValueError):
+            ListSphereDecoder(qam(4), enumerator="magic")
+        with pytest.raises(ValueError):
+            ListSphereDecoder(qam(4), enumerator="hess")
+        with pytest.raises(ValueError):
+            ListSphereDecoder(qam(4), node_budget=0)
+        with pytest.raises(ValueError):
+            ListSphereDecoder(qam(4), batch_strategy="bogus")
         soft = ListSphereDecoder(qam(4))
         _, channel, y, _, _ = instance(4, 2, 2, 10.0, seed=6)
         with pytest.raises(ValueError):
             soft.decode_soft(channel, y, noise_variance=0.0)
+
+    def test_enumerators_agree_on_lists_and_llrs(self):
+        """Every enumerator walks the same tree, so the retained leaf
+        lists — and therefore the LLRs and hard decisions — must be
+        identical; only the search-effort counters may differ."""
+        constellation = qam(16)
+        decoders = {
+            "zigzag": ListSphereDecoder(constellation, list_size=8),
+            "shabany": ListSphereDecoder(constellation, list_size=8,
+                                         geometric_pruning=False,
+                                         enumerator="shabany"),
+            "hess": ListSphereDecoder(constellation, list_size=8,
+                                      geometric_pruning=False,
+                                      enumerator="hess"),
+            "exhaustive": ListSphereDecoder(constellation, list_size=8,
+                                            geometric_pruning=False,
+                                            enumerator="exhaustive"),
+        }
+        for seed in range(6):
+            _, channel, y, _, noise_variance = instance(16, 3, 3, 13.0, seed)
+            results = {name: decoder.decode_soft(channel, y, noise_variance)
+                       for name, decoder in decoders.items()}
+            reference = results["zigzag"]
+            for name, result in results.items():
+                assert np.array_equal(result.llrs, reference.llrs), name
+                assert np.array_equal(result.symbol_indices,
+                                      reference.symbol_indices), name
+                assert result.list_size_used == reference.list_size_used
+
+    def test_node_budget_truncates_search(self):
+        constellation = qam(16)
+        exact = ListSphereDecoder(constellation, list_size=8)
+        budgeted = ListSphereDecoder(constellation, list_size=8,
+                                     node_budget=25)
+        _, channel, y, _, noise_variance = instance(16, 4, 4, 10.0, seed=9)
+        full = exact.decode_soft(channel, y, noise_variance)
+        cut = budgeted.decode_soft(channel, y, noise_variance)
+        assert cut.counters.visited_nodes <= 25
+        assert cut.counters.visited_nodes < full.counters.visited_nodes
+        assert cut.list_size_used >= 1
+        assert (np.abs(cut.llrs) <= budgeted.clamp).all()
 
 
 class TestSoftChain:

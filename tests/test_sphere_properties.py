@@ -22,7 +22,12 @@ import pytest
 
 from repro.channel import awgn, noise_variance_for_snr, rayleigh_channel
 from repro.constellation import qam
-from repro.sphere import SphereDecoder, frontier_decode_batch, triangularize
+from repro.sphere import (
+    ListSphereDecoder,
+    SphereDecoder,
+    frontier_decode_batch,
+    triangularize,
+)
 
 try:
     from hypothesis import given, settings, strategies as st
@@ -106,6 +111,34 @@ def check_radius_monotone(order, num_tx, seed):
         assert sequence[-1] == result.distances_sq[t]
 
 
+def check_llr_invariants(order, num_tx, seed):
+    """List-sphere LLR invariants for every decode:
+
+    * clamp bounds are hard: no LLR magnitude ever exceeds ``clamp``;
+    * sign convention: a strictly negative (positive) LLR means the best
+      list member — the exact ML solution — carries bit 1 (bit 0);
+    * growing the list only via membership: a larger list is a superset
+      of a smaller one, so per-bit minima can only improve and every LLR
+      magnitude is monotonically non-increasing in ``list_size``.
+    """
+    clamp = 8.0
+    noise_variance = 0.05
+    constellation, r, y_hat = _instance(order, num_tx, seed, size=4)
+    small = ListSphereDecoder(constellation, list_size=4, clamp=clamp)
+    large = ListSphereDecoder(constellation, list_size=12, clamp=clamp)
+    for t in range(y_hat.shape[0]):
+        a = small.decode_soft_triangular(r, y_hat[t], noise_variance)
+        b = large.decode_soft_triangular(r, y_hat[t], noise_variance)
+        assert (np.abs(a.llrs) <= clamp).all()
+        assert (np.abs(b.llrs) <= clamp).all()
+        ml_bits = constellation.indices_to_bits(a.symbol_indices).astype(bool)
+        decided = a.llrs != 0.0
+        assert ((a.llrs < 0) == ml_bits)[decided].all()
+        # Both decoders agree on the hard decision (the exact ML point).
+        assert np.array_equal(a.symbol_indices, b.symbol_indices)
+        assert (np.abs(b.llrs) <= np.abs(a.llrs) + 1e-12).all()
+
+
 # ----------------------------------------------------------------------
 # Drivers
 # ----------------------------------------------------------------------
@@ -129,6 +162,11 @@ if HAVE_HYPOTHESIS:
     @given(case=any_case, seed=seeds)
     def test_radius_is_monotone_decreasing(case, seed):
         check_radius_monotone(case[0], case[1], seed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=small_case, seed=seeds)
+    def test_llr_clamp_sign_and_list_monotonicity(case, seed):
+        check_llr_invariants(case[0], case[1], seed)
 else:  # pragma: no cover - exercised only without hypothesis
     @pytest.mark.parametrize("case", SMALL_CASES + [(16, 4), (64, 2)])
     def test_distance_equals_recomputation(case):
@@ -144,6 +182,11 @@ else:  # pragma: no cover - exercised only without hypothesis
     def test_radius_is_monotone_decreasing(case):
         for seed in range(401, 408):
             check_radius_monotone(case[0], case[1], seed)
+
+    @pytest.mark.parametrize("case", SMALL_CASES)
+    def test_llr_clamp_sign_and_list_monotonicity(case):
+        for seed in range(501, 508):
+            check_llr_invariants(case[0], case[1], seed)
 
 
 def test_exhaustive_enumerator_agrees_with_geosphere():
