@@ -7,8 +7,6 @@ speedup in the perf trajectory.  Fixed channel and observations per case
 so the numbers are comparable across decoders and runs.
 """
 
-import time
-
 import numpy as np
 import pytest
 
@@ -74,17 +72,6 @@ def _fixed_frame(order, num_tx, num_rx, num_subcarriers, num_symbols,
     return channels, received
 
 
-def _best_of(function, repeats=5):
-    """Best-of-N wall clock; N=5 keeps the speedup assertion robust to
-    noisy-neighbour CI runners (typical margin is ~15x over the floor)."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        function()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 CASES = [
     ("16qam_4x4", 16, 4, 20.0),
     ("64qam_4x4", 64, 4, 27.0),
@@ -118,7 +105,7 @@ def test_decode_latency(benchmark, case_name, order, num_tx, snr_db,
 SUBCARRIERS = 64
 
 
-def test_kbest_batch_speedup(benchmark):
+def test_kbest_batch_speedup(benchmark, best_of, speedup_floor):
     """Vectorised K-best over a 64-subcarrier block must beat the scalar
     loop by >= 3x wall-clock while staying bit-identical.
 
@@ -135,9 +122,8 @@ def test_kbest_batch_speedup(benchmark):
         return [decoder.decode_triangular(r, y_hat[t])
                 for t in range(SUBCARRIERS)]
 
-    scalar_s = _best_of(scalar_loop)
-    batch_s = _best_of(lambda: decoder.decode_batch(r, y_hat))
-    speedup = scalar_s / batch_s
+    scalar_s = best_of(scalar_loop)
+    batch_s = best_of(lambda: decoder.decode_batch(r, y_hat))
 
     result = benchmark(decoder.decode_batch, r, y_hat)
     scalars = scalar_loop()
@@ -146,33 +132,30 @@ def test_kbest_batch_speedup(benchmark):
     assert np.array_equal(result.distances_sq,
                           np.array([s.distance_sq for s in scalars]))
 
-    benchmark.extra_info["scalar_s"] = scalar_s
-    benchmark.extra_info["batch_s"] = batch_s
-    benchmark.extra_info["speedup"] = speedup
-    assert speedup >= 3.0, (
-        f"batch K-best speedup {speedup:.1f}x below the 3x floor "
-        f"(scalar {scalar_s * 1e3:.1f} ms, batch {batch_s * 1e3:.1f} ms)")
+    speedup_floor(scalar_s, batch_s, 3.0,
+                  baseline="scalar", candidate="batch")
 
 
 @pytest.mark.parametrize("decoder_kind", sorted(FACTORIES))
-def test_sphere_batch_vs_scalar(benchmark, decoder_kind):
+def test_sphere_batch_vs_scalar(benchmark, best_of, decoder_kind):
     """Depth-first decoders run the breadth-synchronised frontier engine
     through ``decode_batch``; report its speedup over the scalar loop."""
     r, y_hat = _fixed_block(16, 4, 4, SUBCARRIERS, snr_db=20.0)
     decoder = FACTORIES[decoder_kind](qam(16))
 
-    scalar_s = _best_of(lambda: [decoder.decode_triangular(r, y_hat[t])
-                                 for t in range(SUBCARRIERS)])
+    scalar_s = best_of(lambda: [decoder.decode_triangular(r, y_hat[t])
+                                for t in range(SUBCARRIERS)])
     result = benchmark(decoder.decode_batch, r, y_hat)
     assert result.found.all()
-    batch_s = _best_of(lambda: decoder.decode_batch(r, y_hat))
+    batch_s = best_of(lambda: decoder.decode_batch(r, y_hat))
     benchmark.extra_info["scalar_s"] = scalar_s
     benchmark.extra_info["batch_s"] = batch_s
     benchmark.extra_info["speedup"] = scalar_s / batch_s
     benchmark.extra_info["ped_calcs"] = result.counters.ped_calcs
 
 
-def test_sphere_frontier_vs_loop_speedup(benchmark):
+def test_sphere_frontier_vs_loop_speedup(benchmark, best_of,
+                                         speedup_floor):
     """The ISSUE-2 acceptance numbers: breadth-synchronised frontier vs
     the ``strategy="loop"`` fallback on 16-QAM 4x4 x 64 subcarriers.
 
@@ -195,15 +178,10 @@ def test_sphere_frontier_vs_loop_speedup(benchmark):
     assert result.counters.ped_calcs == loop_result.counters.ped_calcs
     assert result.counters.visited_nodes == loop_result.counters.visited_nodes
 
-    loop_s = _best_of(lambda: loop.decode_batch(r, y_hat))
-    frontier_s = _best_of(lambda: frontier.decode_batch(r, y_hat))
-    speedup = loop_s / frontier_s
-    benchmark.extra_info["loop_s"] = loop_s
-    benchmark.extra_info["frontier_s"] = frontier_s
-    benchmark.extra_info["speedup"] = speedup
-    assert speedup >= 3.0, (
-        f"frontier speedup {speedup:.1f}x below the 3x floor "
-        f"(loop {loop_s * 1e3:.1f} ms, frontier {frontier_s * 1e3:.1f} ms)")
+    loop_s = best_of(lambda: loop.decode_batch(r, y_hat))
+    frontier_s = best_of(lambda: frontier.decode_batch(r, y_hat))
+    speedup_floor(loop_s, frontier_s, 3.0,
+                  baseline="loop", candidate="frontier")
 
 
 # ----------------------------------------------------------------------
@@ -213,7 +191,8 @@ def test_sphere_frontier_vs_loop_speedup(benchmark):
 OFDM_SYMBOLS = 16
 
 
-def test_frame_vs_per_subcarrier_speedup(benchmark):
+def test_frame_vs_per_subcarrier_speedup(benchmark, best_of,
+                                         speedup_floor):
     """The ISSUE-3 acceptance numbers: one frame-engine instance over all
     64 subcarriers vs the PR 2 path (a frontier ``decode_block`` per
     subcarrier) on 16-QAM 4x4 x 64 subcarriers x 16 OFDM symbols.
@@ -246,16 +225,10 @@ def test_frame_vs_per_subcarrier_speedup(benchmark):
     assert result.counters.visited_nodes == sum(
         block.counters.visited_nodes for block in blocks)
 
-    per_subcarrier_s = _best_of(per_subcarrier)
-    frame_s = _best_of(lambda: decoder.decode_frame(channels, received))
-    speedup = per_subcarrier_s / frame_s
-    benchmark.extra_info["per_subcarrier_s"] = per_subcarrier_s
-    benchmark.extra_info["frame_s"] = frame_s
-    benchmark.extra_info["speedup"] = speedup
-    assert speedup >= 1.5, (
-        f"frame-engine speedup {speedup:.1f}x below the 1.5x floor "
-        f"(per-subcarrier {per_subcarrier_s * 1e3:.1f} ms, frame "
-        f"{frame_s * 1e3:.1f} ms)")
+    per_subcarrier_s = best_of(per_subcarrier)
+    frame_s = best_of(lambda: decoder.decode_frame(channels, received))
+    speedup_floor(per_subcarrier_s, frame_s, 1.5,
+                  baseline="per_subcarrier", candidate="frame")
 
 
 # ----------------------------------------------------------------------
@@ -263,7 +236,8 @@ def test_frame_vs_per_subcarrier_speedup(benchmark):
 # ----------------------------------------------------------------------
 
 
-def test_soft_frame_vs_scalar_speedup(benchmark):
+def test_soft_frame_vs_scalar_speedup(benchmark, best_of,
+                                      speedup_floor):
     """The ISSUE-4 acceptance numbers: the whole-frame *list* frontier vs
     the scalar list search per slot on 16-QAM 4x4 x 64 subcarriers x 16
     OFDM symbols (list size 16).
@@ -294,14 +268,9 @@ def test_soft_frame_vs_scalar_speedup(benchmark):
     assert np.array_equal(result.list_sizes, scalar.list_sizes)
     assert result.counters == scalar.counters
 
-    scalar_s = _best_of(lambda: frame_decode_soft_scalar(
+    scalar_s = best_of(lambda: frame_decode_soft_scalar(
         decoder, r_stack, y_hat, noise_variance), repeats=3)
-    frame_s = _best_of(lambda: frame_decode_soft(
+    frame_s = best_of(lambda: frame_decode_soft(
         decoder, r_stack, y_hat, noise_variance), repeats=3)
-    speedup = scalar_s / frame_s
-    benchmark.extra_info["scalar_s"] = scalar_s
-    benchmark.extra_info["frame_s"] = frame_s
-    benchmark.extra_info["speedup"] = speedup
-    assert speedup >= 1.5, (
-        f"soft frame-engine speedup {speedup:.1f}x below the 1.5x floor "
-        f"(scalar {scalar_s * 1e3:.1f} ms, frame {frame_s * 1e3:.1f} ms)")
+    speedup_floor(scalar_s, frame_s, 1.5,
+                  baseline="scalar", candidate="frame")

@@ -16,6 +16,8 @@ round); the decode-latency micro-benchmarks use normal repeated timing.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 
@@ -28,3 +30,50 @@ def run_once(benchmark):
                                   rounds=1, iterations=1, warmup_rounds=0)
 
     return runner
+
+
+@pytest.fixture
+def best_of():
+    """Best-of-N wall clock for the speedup comparisons.
+
+    N=5 keeps the floor assertions robust to noisy-neighbour CI runners
+    (typical margins are several-x over the floors).  Shared by every
+    benchmark that times two code paths against each other.
+    """
+
+    def timer(function, repeats: int = 5) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            function()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return timer
+
+
+@pytest.fixture
+def speedup_floor(benchmark):
+    """Record a baseline-vs-candidate timing pair and assert its floor.
+
+    Stashes ``{baseline}_s``, ``{candidate}_s`` and ``speedup`` in
+    ``benchmark.extra_info`` (so the pytest-benchmark JSON carries the
+    real measured number) and asserts ``baseline / candidate >= floor``
+    with a uniform message.  The floors are deliberately conservative —
+    they exist to catch regressions, not to certify the headline number.
+    """
+
+    def check(baseline_s: float, candidate_s: float, floor: float, *,
+              baseline: str = "baseline",
+              candidate: str = "candidate") -> float:
+        speedup = baseline_s / candidate_s
+        benchmark.extra_info[f"{baseline}_s"] = baseline_s
+        benchmark.extra_info[f"{candidate}_s"] = candidate_s
+        benchmark.extra_info["speedup"] = speedup
+        assert speedup >= floor, (
+            f"{candidate} speedup {speedup:.1f}x over {baseline} is below "
+            f"the {floor}x floor ({baseline} {baseline_s * 1e3:.1f} ms, "
+            f"{candidate} {candidate_s * 1e3:.1f} ms)")
+        return speedup
+
+    return check

@@ -1,0 +1,77 @@
+"""Cell-scale streaming: many frames through one resident engine.
+
+Synthesises a small cell — users with spread-out SNRs, a rotating TDMA
+schedule, threshold rate adaptation picking each frame's modulation, a
+mix of hard and soft decoding — and pushes a Poisson stream of its frames
+through the streaming :class:`~repro.runtime.session.UplinkRuntime`.
+Frame N+1's searches refill lanes while frame N's stragglers drain, so
+the resident frontier never idles between frames; the same stream decoded
+frame-at-a-time (one ``decode_frame`` call per frame) shows what that
+pipelining buys.  Per-frame results are bit-identical either way.
+
+Run:  python examples/cell_runtime.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.runtime import CellWorkload, UplinkRuntime, synthetic_cell_trace
+
+NUM_FRAMES = 24
+
+
+def main() -> None:
+    trace = synthetic_cell_trace(num_links=6, num_subcarriers=32,
+                                 num_ap_antennas=4, num_clients=4, rng=3)
+    workload = CellWorkload(trace, num_users=8, group_size=4,
+                            num_symbols=4, soft_fraction=0.25,
+                            snr_span_db=(15.0, 26.0), list_size=8, rng=4)
+    frames = workload.frames(NUM_FRAMES)
+    orders = sorted({frame.metadata["order"] for frame in frames})
+    soft_count = sum(frame.metadata["kind"] == "soft" for frame in frames)
+    print(f"cell stream: {NUM_FRAMES} frames, modulations {orders}, "
+          f"{soft_count} soft / {NUM_FRAMES - soft_count} hard")
+
+    # Frame-at-a-time baseline: each frame pays its own engine tail.
+    start = time.perf_counter()
+    references = []
+    for frame in frames:
+        if frame.noise_variance is None:
+            references.append(frame.decoder.decode_frame(
+                frame.channels, frame.received))
+        else:
+            references.append(frame.decoder.decode_frame(
+                frame.channels, frame.received, frame.noise_variance))
+    sequential_s = time.perf_counter() - start
+
+    # Pipelined: one resident engine, bounded in-flight budget.
+    start = time.perf_counter()
+    runtime = UplinkRuntime(max_in_flight=8)
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    pipelined_s = time.perf_counter() - start
+
+    identical = all(
+        np.array_equal(handle.result().symbol_indices,
+                       reference.symbol_indices)
+        and handle.result().counters == reference.counters
+        for handle, reference in zip(handles, references))
+    print(f"per-frame results identical to decode_frame: {identical}")
+
+    stats = runtime.stats
+    percentiles = stats.latency_percentiles((50, 90, 99))
+    print(f"frame-at-a-time: {sequential_s * 1e3:7.1f} ms "
+          f"({NUM_FRAMES / sequential_s:6.1f} frames/s)")
+    print(f"pipelined:       {pipelined_s * 1e3:7.1f} ms "
+          f"({stats.frames_per_second():6.1f} frames/s sustained), "
+          f"speedup {sequential_s / pipelined_s:.2f}x")
+    print(f"latency p50/p90/p99: {percentiles[50] * 1e3:.1f} / "
+          f"{percentiles[90] * 1e3:.1f} / {percentiles[99] * 1e3:.1f} ms")
+    print(f"mean lane occupancy: {stats.mean_lane_occupancy():.2f} "
+          f"({stats.ticks} ticks, "
+          f"{stats.counters.visited_nodes} nodes visited)")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..frame.results import FrameDetectionResult
 from ..sphere.counters import ComplexityCounters
+from ..utils.validation import require
 from .base import BatchDetectionResult, DetectionResult
 
 __all__ = ["SphereDetector"]
@@ -70,7 +71,9 @@ class SphereDetector:
                                     counters=result.counters)
 
     def detect_frame(self, channels, received,
-                     noise_variance: float = 0.0) -> FrameDetectionResult:
+                     noise_variance: float = 0.0, *,
+                     capacity: int | None = None,
+                     drain_threshold: int | None = None) -> FrameDetectionResult:
         """Detect a whole uplink frame — ``(S, na, nc)`` channels,
         ``(T, S, na)`` observations — in one decoder call.
 
@@ -82,10 +85,31 @@ class SphereDetector:
         decoder zoo.  Either way the aggregated counters land on the
         result (frame-level totals, no per-subcarrier merge for frame
         decoders) and are mirrored into :attr:`last_block_counters`.
+
+        ``capacity`` / ``drain_threshold`` tune the depth-first frame
+        frontier (lane-pool size; straggler handoff, default capped at
+        ``DRAIN_THRESHOLD_CAP = 32`` survivors) and are rejected for
+        decoders that never run one — K-best keeps every search in
+        lockstep by construction, and ``batch_strategy="loop"`` decoders
+        take the reference driver — rather than silently dropped.  (Tiny
+        frames below ``FRONTIER_MIN_BATCH`` searches still auto-fall
+        back to the reference driver, where the knobs are moot: results
+        are bit-identical for every setting.)
         """
+        engine_kwargs = {}
+        if capacity is not None:
+            engine_kwargs["capacity"] = capacity
+        if drain_threshold is not None:
+            engine_kwargs["drain_threshold"] = drain_threshold
         decode_frame = getattr(self.decoder, "decode_frame", None)
+        if engine_kwargs:
+            require(decode_frame is not None
+                    and getattr(self.decoder, "batch_strategy",
+                                None) == "frontier",
+                    "capacity/drain_threshold tune the depth-first frame "
+                    f"frontier; {self.name} does not run one")
         if decode_frame is not None:
-            result = decode_frame(channels, received)
+            result = decode_frame(channels, received, **engine_kwargs)
             counters = result.counters
             indices = result.symbol_indices
             symbols = result.symbols

@@ -35,11 +35,12 @@ import numpy as np
 from ..sphere.batch_search import make_kernel
 from ..sphere.counters import ComplexityCounters
 from ..utils.validation import require
-from .results import FrameDecodeResult, empty_frame_result
+from .results import FrameDecodeResult, empty_frame_result, \
+    sum_tally_counters
 from .scheduler import SlotScheduler
 
-__all__ = ["frame_decode_sphere", "frame_decode_per_subcarrier",
-           "DEFAULT_LANE_CAPACITY"]
+__all__ = ["accumulate_interference", "frame_decode_sphere",
+           "frame_decode_per_subcarrier", "DEFAULT_LANE_CAPACITY"]
 
 #: Default lane-pool size.  Large enough that typical frames (64
 #: subcarriers x tens of OFDM symbols) keep the whole frame in lockstep,
@@ -55,6 +56,35 @@ DEFAULT_LANE_CAPACITY = 2048
 #: draining early (``N // 6`` = 170 survivors finished at scalar speed)
 #: and ticking the array machinery for a near-empty frontier.
 DRAIN_THRESHOLD_CAP = 32
+
+
+def accumulate_interference(rows, chosen, next_level,
+                            num_streams: int) -> np.ndarray:
+    """Interference of the decided upper levels for a batch of descents.
+
+    ``rows`` carries each descending element's own ``R`` row at its next
+    level (gathered by the caller from whatever channel layout it keeps),
+    ``chosen`` the element's decided symbols, ``next_level`` the level
+    being entered.  The accumulation runs column-by-column (ascending)
+    through the multiply ufunc — the scalar search's exact float program
+    — so every engine that calls this (the hard frame engine, the soft
+    frame engine, the streaming runtime) produces bit-identical partial
+    distances.  The homogeneous-level fast path skips the ``np.where``
+    masking when every element descends to the same level; both branches
+    apply the identical per-element operation sequence.
+    """
+    products = rows * chosen
+    interference = np.zeros(rows.shape[0], dtype=np.complex128)
+    first = int(next_level[0])
+    if (next_level == first).all():
+        for column in range(first + 1, num_streams):
+            interference = interference + products[:, column]
+    else:
+        for column in range(1, num_streams):
+            interference = np.where(
+                next_level < column,
+                interference + products[:, column], interference)
+    return interference
 
 
 def _check_frame_inputs(r_stack, y_hat) -> tuple[np.ndarray, np.ndarray]:
@@ -360,22 +390,11 @@ def frame_decode_sphere(decoder, r_stack: np.ndarray, y_hat: np.ndarray, *,
                     descending = accepted[push]
                     next_level = lv_a[push] - 1
                     parent_push = distance[push]
-                # Interference of the decided upper levels, accumulated
-                # column-by-column (ascending) through the multiply
-                # ufunc — the scalar search's exact float program — with
-                # each element's own subcarrier row of R gathered in.
-                products = (r_stack[sub[descending], next_level]
-                            * chosen[descending])
-                interference = np.zeros(descending.size, dtype=np.complex128)
-                first = int(next_level[0])
-                if (next_level == first).all():
-                    for column in range(first + 1, num_streams):
-                        interference = interference + products[:, column]
-                else:
-                    for column in range(1, num_streams):
-                        interference = np.where(
-                            next_level < column,
-                            interference + products[:, column], interference)
+                # Each element's own subcarrier row of R gathered into
+                # the shared bit-exact accumulation.
+                interference = accumulate_interference(
+                    r_stack[sub[descending], next_level], chosen[descending],
+                    next_level, num_streams)
                 points = ((y_flat[descending, next_level] - interference)
                           / diag_stack[sub[descending], next_level])
                 expanded[descending] += 1
@@ -408,13 +427,8 @@ def frame_decode_sphere(decoder, r_stack: np.ndarray, y_hat: np.ndarray, *,
                                       best_rows[lockstep])
         indices[lockstep] = best
         symbols[lockstep] = constellation.points[best]
-    totals = ComplexityCounters(
-        ped_calcs=int(ped.sum()),
-        visited_nodes=int(visited.sum()),
-        expanded_nodes=int(expanded.sum()),
-        leaves=int(leaves.sum()),
-        geometric_prunes=int(prunes.sum()))
-    totals.complex_mults = totals.ped_calcs * (num_streams + 1)
+    totals = sum_tally_counters(ped, visited, expanded, leaves, prunes,
+                                num_streams)
 
     frame_shape = (num_subcarriers, num_symbols)
     return FrameDecodeResult(

@@ -23,7 +23,27 @@ from ..sphere.counters import ComplexityCounters
 
 __all__ = ["FrameDecodeResult", "FrameDetectionResult", "SoftFrameResult",
            "empty_frame_result", "empty_soft_frame_result",
-           "hard_decision_frame"]
+           "hard_decision_frame", "sum_tally_counters"]
+
+
+def sum_tally_counters(ped, visited, expanded, leaves, prunes,
+                       num_streams: int) -> ComplexityCounters:
+    """Aggregate per-element tally arrays into one frame counter object.
+
+    The shared epilogue of every frame-scale engine (hard frame, soft
+    frame, streaming runtime): integer sums are order-independent, so the
+    aggregate equals the sum of per-element scalar counters exactly, and
+    ``complex_mults`` applies the paper's ``nc + 1`` multiplications-per-
+    PED model (footnote 5) to the total.
+    """
+    totals = ComplexityCounters(
+        ped_calcs=int(np.asarray(ped).sum()),
+        visited_nodes=int(np.asarray(visited).sum()),
+        expanded_nodes=int(np.asarray(expanded).sum()),
+        leaves=int(np.asarray(leaves).sum()),
+        geometric_prunes=int(np.asarray(prunes).sum()))
+    totals.complex_mults = totals.ped_calcs * (num_streams + 1)
+    return totals
 
 
 @dataclass

@@ -30,7 +30,45 @@ import numpy as np
 
 from ..utils.validation import require
 
-__all__ = ["SlotScheduler"]
+__all__ = ["LanePool", "SlotScheduler"]
+
+
+class LanePool:
+    """Fixed pool of kernel lanes: take on admission, release on finish.
+
+    The bookkeeping half of lane scheduling, factored out so the one-shot
+    frame scheduler below and the resident streaming runtime
+    (:mod:`repro.runtime.engine`) share it: lane identity never affects a
+    search's float program — kernel slots are fully re-initialised at
+    admission — so any component that takes and releases lanes through
+    this pool inherits the frame engine's packing behaviour.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        require(capacity >= 1, "lane pool needs at least one lane")
+        self.capacity = capacity
+        # Stack of free lanes; popping from the end hands out lane 0 first.
+        self._free = list(range(capacity - 1, -1, -1))
+
+    @property
+    def free_lanes(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - len(self._free)
+
+    def take(self, count: int) -> np.ndarray:
+        """Pop ``count`` free lanes (callers bound ``count`` by
+        :attr:`free_lanes`)."""
+        require(count <= len(self._free),
+                f"cannot take {count} lanes with {len(self._free)} free")
+        return np.array([self._free.pop() for _ in range(count)],
+                        dtype=np.int64)
+
+    def release(self, lanes) -> None:
+        """Return finished searches' lanes to the free pool."""
+        self._free.extend(int(lane) for lane in np.asarray(lanes).reshape(-1))
 
 
 class SlotScheduler:
@@ -50,10 +88,12 @@ class SlotScheduler:
         require(num_problems >= 0, "num_problems must be non-negative")
         require(capacity >= 1, "scheduler needs at least one lane")
         self.num_problems = num_problems
-        self.capacity = min(capacity, max(num_problems, 1))
+        self._pool = LanePool(min(capacity, max(num_problems, 1)))
         self._next = 0
-        # Stack of free lanes; popping from the end hands out lane 0 first.
-        self._free = list(range(self.capacity - 1, -1, -1))
+
+    @property
+    def capacity(self) -> int:
+        return self._pool.capacity
 
     @property
     def pending(self) -> int:
@@ -62,7 +102,7 @@ class SlotScheduler:
 
     @property
     def free_lanes(self) -> int:
-        return len(self._free)
+        return self._pool.free_lanes
 
     def admit(self) -> tuple[np.ndarray, np.ndarray]:
         """Fill free lanes from the queue; returns ``(lanes, elements)``.
@@ -70,16 +110,15 @@ class SlotScheduler:
         Both arrays have one entry per newly admitted search.  Either may
         be empty (no free lanes, or queue exhausted).
         """
-        count = min(len(self._free), self.pending)
+        count = min(self._pool.free_lanes, self.pending)
         if count == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        lanes = np.array([self._free.pop() for _ in range(count)],
-                         dtype=np.int64)
+        lanes = self._pool.take(count)
         elements = np.arange(self._next, self._next + count, dtype=np.int64)
         self._next += count
         return lanes, elements
 
     def release(self, lanes) -> None:
         """Return finished searches' lanes to the free pool."""
-        self._free.extend(int(lane) for lane in np.asarray(lanes).reshape(-1))
+        self._pool.release(lanes)

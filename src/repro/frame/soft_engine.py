@@ -44,11 +44,66 @@ from ..sphere.batch_search import make_kernel
 from ..sphere.counters import ComplexityCounters
 from ..sphere.soft import soft_outputs_from_lists
 from .engine import DRAIN_THRESHOLD_CAP, DEFAULT_LANE_CAPACITY, \
-    _check_frame_inputs
-from .results import SoftFrameResult, empty_soft_frame_result
+    _check_frame_inputs, accumulate_interference
+from .results import SoftFrameResult, empty_soft_frame_result, \
+    sum_tally_counters
 from .scheduler import SlotScheduler
 
-__all__ = ["frame_decode_soft", "frame_decode_soft_scalar"]
+__all__ = ["frame_decode_soft", "frame_decode_soft_scalar",
+           "insert_soft_leaves"]
+
+
+def insert_soft_leaves(at_leaf, leaf_distance, seq, path_cols, path_rows,
+                       list_d, list_seq, list_cols, list_rows, list_n,
+                       radius, list_size: int) -> None:
+    """Insert a tick's batch of leaves into their slots' bounded lists.
+
+    The vectorised twin of the scalar decoder's ``heapq`` bookkeeping —
+    append while a list has room, then ``heappushpop`` semantics (the new
+    leaf replaces the worst member, ties broken towards the
+    earliest-found) — with each slot's sphere radius tightened to its
+    worst member once the list is full.  All arrays are indexed by the
+    ids in ``at_leaf`` (frame elements for the frame engine, lanes for
+    the streaming runtime), so both engines share this exact program.
+    """
+    count = list_n[at_leaf]
+    not_full = count < list_size
+    inserting = at_leaf[not_full]
+    if inserting.size:
+        # Room left: append to the slot's next free entry.
+        slot = count[not_full]
+        list_d[inserting, slot] = leaf_distance[not_full]
+        list_seq[inserting, slot] = seq[not_full]
+        list_cols[inserting, slot] = path_cols[inserting]
+        list_rows[inserting, slot] = path_rows[inserting]
+        list_n[inserting] = slot + 1
+        newly_full = list_n[inserting] == list_size
+        if newly_full.any():
+            filled = inserting[newly_full]
+            radius[filled] = list_d[filled].max(axis=1)
+    replacing = at_leaf[~not_full]
+    if replacing.size:
+        # Full list: ``heappushpop`` semantics — the new leaf replaces
+        # the worst member (largest distance, ties towards the
+        # earliest-found) unless it is strictly worse than all of them.
+        new_distance = leaf_distance[~not_full]
+        new_seq = seq[~not_full]
+        worst = list_d[replacing].max(axis=1)
+        evict = new_distance <= worst
+        replacing = replacing[evict]
+        if replacing.size:
+            new_distance = new_distance[evict]
+            new_seq = new_seq[evict]
+            row_d = list_d[replacing]
+            worst_tie = np.where(
+                row_d == row_d.max(axis=1)[:, None],
+                list_seq[replacing], np.iinfo(np.int64).max)
+            slot = worst_tie.argmin(axis=1)
+            list_d[replacing, slot] = new_distance
+            list_seq[replacing, slot] = new_seq
+            list_cols[replacing, slot] = path_cols[replacing]
+            list_rows[replacing, slot] = path_rows[replacing]
+            radius[replacing] = list_d[replacing].max(axis=1)
 
 
 def frame_decode_soft_scalar(decoder, r_stack, y_hat,
@@ -335,45 +390,9 @@ def frame_decode_soft(decoder, r_stack: np.ndarray, y_hat: np.ndarray,
                 leaves[at_leaf] += 1
                 leaf_seq[at_leaf] += 1
                 seq = leaf_seq[at_leaf]
-                count = list_n[at_leaf]
-                not_full = count < list_size
-                inserting = at_leaf[not_full]
-                if inserting.size:
-                    # Room left: append to the slot's next free entry.
-                    slot = count[not_full]
-                    list_d[inserting, slot] = leaf_distance[not_full]
-                    list_seq[inserting, slot] = seq[not_full]
-                    list_cols[inserting, slot] = path_cols[inserting]
-                    list_rows[inserting, slot] = path_rows[inserting]
-                    list_n[inserting] = slot + 1
-                    newly_full = list_n[inserting] == list_size
-                    if newly_full.any():
-                        filled = inserting[newly_full]
-                        radius[filled] = list_d[filled].max(axis=1)
-                replacing = at_leaf[~not_full]
-                if replacing.size:
-                    # Full list: ``heappushpop`` semantics — the new leaf
-                    # replaces the worst member (largest distance, ties
-                    # towards the earliest-found) unless it is strictly
-                    # worse than all of them.
-                    new_distance = leaf_distance[~not_full]
-                    new_seq = seq[~not_full]
-                    worst = list_d[replacing].max(axis=1)
-                    evict = new_distance <= worst
-                    replacing = replacing[evict]
-                    if replacing.size:
-                        new_distance = new_distance[evict]
-                        new_seq = new_seq[evict]
-                        row_d = list_d[replacing]
-                        worst_tie = np.where(
-                            row_d == row_d.max(axis=1)[:, None],
-                            list_seq[replacing], np.iinfo(np.int64).max)
-                        slot = worst_tie.argmin(axis=1)
-                        list_d[replacing, slot] = new_distance
-                        list_seq[replacing, slot] = new_seq
-                        list_cols[replacing, slot] = path_cols[replacing]
-                        list_rows[replacing, slot] = path_rows[replacing]
-                        radius[replacing] = list_d[replacing].max(axis=1)
+                insert_soft_leaves(at_leaf, leaf_distance, seq, path_cols,
+                                   path_rows, list_d, list_seq, list_cols,
+                                   list_rows, list_n, radius, list_size)
                 if trace is not None:
                     trace.setdefault("leaf_events", []).append(
                         (at_leaf.copy(), leaf_distance.copy()))
@@ -389,22 +408,11 @@ def frame_decode_soft(decoder, r_stack: np.ndarray, y_hat: np.ndarray,
                     descending = accepted[push]
                     next_level = lv_a[push] - 1
                     parent_push = distance[push]
-                # Interference of the decided upper levels, accumulated
-                # column-by-column (ascending) through the multiply
-                # ufunc — the scalar search's exact float program — with
-                # each element's own subcarrier row of R gathered in.
-                products = (r_stack[sub[descending], next_level]
-                            * chosen[descending])
-                interference = np.zeros(descending.size, dtype=np.complex128)
-                first = int(next_level[0])
-                if (next_level == first).all():
-                    for column in range(first + 1, num_streams):
-                        interference = interference + products[:, column]
-                else:
-                    for column in range(1, num_streams):
-                        interference = np.where(
-                            next_level < column,
-                            interference + products[:, column], interference)
+                # Each element's own subcarrier row of R gathered into
+                # the shared bit-exact accumulation.
+                interference = accumulate_interference(
+                    r_stack[sub[descending], next_level], chosen[descending],
+                    next_level, num_streams)
                 points = ((y_flat[descending, next_level] - interference)
                           / diag_stack[sub[descending], next_level])
                 expanded[descending] += 1
@@ -419,13 +427,8 @@ def frame_decode_soft(decoder, r_stack: np.ndarray, y_hat: np.ndarray,
     llrs, best_indices, best_symbols = soft_outputs_from_lists(
         constellation, list_d, list_seq, list_cols, list_rows, list_n,
         noise_variance, decoder.clamp)
-    totals = ComplexityCounters(
-        ped_calcs=int(ped.sum()),
-        visited_nodes=int(visited.sum()),
-        expanded_nodes=int(expanded.sum()),
-        leaves=int(leaves.sum()),
-        geometric_prunes=int(prunes.sum()))
-    totals.complex_mults = totals.ped_calcs * (num_streams + 1)
+    totals = sum_tally_counters(ped, visited, expanded, leaves, prunes,
+                                num_streams)
 
     frame_shape = (num_subcarriers, num_symbols)
     return SoftFrameResult(

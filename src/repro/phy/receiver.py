@@ -21,6 +21,7 @@ by comparing against the transmitted bits.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,7 +65,9 @@ FRAME_STRATEGIES = ("frame", "per_subcarrier")
 
 
 def detect_uplink(channels, received, detector, noise_variance: float,
-                  frame_strategy: str = "frame") -> UplinkDetection:
+                  frame_strategy: str = "frame", *,
+                  capacity: int | None = None,
+                  drain_threshold: int | None = None) -> UplinkDetection:
     """Detect a whole uplink frame.
 
     ``channels`` is ``(S, na, nc)`` — one matrix per data subcarrier;
@@ -86,6 +89,15 @@ def detect_uplink(channels, received, detector, noise_variance: float,
         vectors goes to ``detector.detect_batch`` separately, counters
         merged across subcarriers.
 
+    ``capacity`` and ``drain_threshold`` are the frame-frontier knobs
+    (lane-pool size and the straggler handoff point — by default
+    ``min(capacity, S*T) // 6`` capped at ``DRAIN_THRESHOLD_CAP = 32``
+    survivors, the cap measured best at frame scale); they only apply to
+    the ``"frame"`` dispatch of detectors that run the depth-first frame
+    frontier, so passing either with a detector that cannot honour it is
+    an error rather than a silent no-op.  Results are bit-identical for
+    every knob setting — the knobs trade wall-clock only.
+
     Both strategies return bit-identical symbol decisions and aggregated
     counters (``tests/test_frame_engine.py`` and the
     ``tests/test_link_golden.py`` goldens enforce this).
@@ -106,12 +118,28 @@ def detect_uplink(channels, received, detector, noise_variance: float,
     num_symbols, num_subcarriers = observations.shape[:2]
     num_streams = matrices.shape[2]
 
+    engine_kwargs = {}
+    if capacity is not None:
+        engine_kwargs["capacity"] = capacity
+    if drain_threshold is not None:
+        engine_kwargs["drain_threshold"] = drain_threshold
     detect_frame = getattr(detector, "detect_frame", None)
     if frame_strategy == "frame" and detect_frame is not None:
-        result = detect_frame(matrices, observations, noise_variance)
+        if engine_kwargs:
+            parameters = inspect.signature(detect_frame).parameters
+            require(all(name in parameters for name in engine_kwargs),
+                    "capacity/drain_threshold tune the depth-first frame "
+                    f"frontier; {type(detector).__name__}.detect_frame "
+                    "does not run one")
+        result = detect_frame(matrices, observations, noise_variance,
+                              **engine_kwargs)
         return UplinkDetection(symbol_indices=result.symbol_indices,
                                counters=result.counters,
                                detections=num_symbols * num_subcarriers)
+    require(not engine_kwargs,
+            "capacity/drain_threshold are frame-frontier knobs; they need "
+            "frame_strategy='frame' and a detector with a frame entry "
+            "point")
 
     indices = np.empty((num_symbols, num_subcarriers, num_streams),
                        dtype=np.int64)

@@ -52,21 +52,35 @@ class SoftFrameOutcome:
 
 def simulate_frame_soft(channels, decoder: ListSphereDecoder,
                         config: PhyConfig, snr_db: float, rng=None,
-                        payloads=None,
-                        frame_strategy: str = "frame") -> SoftFrameOutcome:
+                        payloads=None, frame_strategy: str = "frame", *,
+                        capacity: int | None = None,
+                        drain_threshold: int | None = None) -> SoftFrameOutcome:
     """Simulate one uplink frame through the soft receive chain.
 
     Mirrors :func:`repro.phy.link.simulate_frame` but every detection
     yields LLRs; per-stream reliability sequences then run through
     :func:`repro.phy.receiver.recover_stream_soft`.  ``frame_strategy``
     selects the soft detection dispatch exactly like
-    :func:`repro.phy.receiver.detect_uplink` does for the hard chain.
+    :func:`repro.phy.receiver.detect_uplink` does for the hard chain,
+    and ``capacity`` / ``drain_threshold`` are the same frame-frontier
+    knobs (lane-pool size; straggler handoff point, default
+    ``min(capacity, S*T) // 6`` capped at ``DRAIN_THRESHOLD_CAP = 32``
+    survivors) — they require the ``"frame"`` dispatch and never change
+    results, only wall-clock.
     """
     require(config.code is not None,
             "the soft receiver requires a coded configuration")
     require(frame_strategy in FRAME_STRATEGIES,
             f"unknown frame strategy {frame_strategy!r}; choose from "
             f"{FRAME_STRATEGIES}")
+    require(frame_strategy == "frame"
+            or (capacity is None and drain_threshold is None),
+            "capacity/drain_threshold tune the frame frontier; they need "
+            "frame_strategy='frame'")
+    require((capacity is None and drain_threshold is None)
+            or decoder.batch_strategy == "frontier",
+            "capacity/drain_threshold tune the frame frontier; a "
+            "batch_strategy='loop' decoder never runs one")
     generator = as_generator(rng)
     num_subcarriers = config.ofdm.num_data_subcarriers
     matrices = _normalise_channels(channels, num_subcarriers)
@@ -90,7 +104,9 @@ def simulate_frame_soft(channels, decoder: ListSphereDecoder,
                                          generator)
 
     if frame_strategy == "frame":
-        detection = decoder.decode_frame(matrices, received, noise_variance)
+        detection = decoder.decode_frame(matrices, received, noise_variance,
+                                         capacity=capacity,
+                                         drain_threshold=drain_threshold)
     else:
         # The differential baseline: scalar list searches per slot, with
         # the per-subcarrier QR hoisted out of the OFDM-symbol loop.

@@ -1,0 +1,34 @@
+"""Cell-scale streaming runtime: many frames through one resident engine.
+
+The layer above :mod:`repro.frame`: an access point decodes a *stream* of
+uplink frames, not one, and the frame engines' lane pools sat idle during
+every frame's straggler tail.  This package keeps one breadth-synchronised
+frontier resident (:mod:`~repro.runtime.engine`), tags every (subcarrier,
+OFDM symbol) search with its frame id (:mod:`~repro.runtime.queue`), and
+refills freed lanes from *any* admitted frame, so consecutive frames
+pipeline through the shared lane pool with per-frame results bit-identical
+to standalone ``decode_frame``.  :mod:`~repro.runtime.session` is the
+submit/poll/drain API with bounded-in-flight backpressure,
+:mod:`~repro.runtime.cell` generates heterogeneous multi-user cell
+traffic to drive it, and :mod:`~repro.runtime.stats` reports sustained
+frames/sec, latency percentiles and lane occupancy.
+"""
+
+from .cell import CellWorkload, synthetic_cell_trace
+from .engine import StreamingFrontier
+from .queue import AdmissionQueue, FrameJob, FrameRequest
+from .session import DEFAULT_MAX_IN_FLIGHT, PendingFrame, UplinkRuntime
+from .stats import RuntimeStats
+
+__all__ = [
+    "AdmissionQueue",
+    "CellWorkload",
+    "DEFAULT_MAX_IN_FLIGHT",
+    "FrameJob",
+    "FrameRequest",
+    "PendingFrame",
+    "RuntimeStats",
+    "StreamingFrontier",
+    "UplinkRuntime",
+    "synthetic_cell_trace",
+]

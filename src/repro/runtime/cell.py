@@ -1,0 +1,225 @@
+"""Cell workload generator: heterogeneous multi-user traffic for the runtime.
+
+Benchmarking the streaming runtime on one repeated frame would hide
+exactly the effects it exists to handle, so this module synthesises the
+workload a loaded access point actually sees, from the pieces the repo
+already has: :func:`repro.mac.scheduler.round_robin_groups` rotates which
+clients transmit together, :func:`repro.mac.selection.select_users_in_snr_range`
+optionally narrows each slot to the paper's SNR-window user selection,
+:class:`repro.phy.rate_adaptation.ThresholdRateAdapter` picks each
+frame's modulation from the serving group's instantaneous SNR (so the
+stream mixes constellations), and channels come from a
+:class:`repro.channel.trace.ChannelTrace` (measured or synthesised) with
+per-user SNR trajectories evolving as mean-reverting Gauss–Markov walks.
+Frame arrivals are a Poisson process — the sustained-load regime the
+delay-constrained MIMO throughput literature studies — and a configurable
+fraction of frames requests soft (list) decoding.
+
+Every generated frame is a plain
+:class:`~repro.runtime.queue.FrameRequest`; the generator never touches
+the engine, so the same workload can drive the pipelined runtime and the
+frame-at-a-time baseline for like-for-like comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel import awgn, noise_variance_for_snr, rayleigh_channels
+from ..channel.trace import ChannelTrace
+from ..constellation import qam
+from ..mac.scheduler import round_robin_groups
+from ..mac.selection import select_users_in_snr_range
+from ..phy.rate_adaptation import ThresholdRateAdapter
+from ..sphere.decoder import SphereDecoder
+from ..sphere.soft import ListSphereDecoder
+from ..utils.rng import as_generator
+from ..utils.validation import require
+from .queue import FrameRequest
+
+__all__ = ["CellWorkload", "synthetic_cell_trace"]
+
+
+def synthetic_cell_trace(num_links: int, num_subcarriers: int,
+                         num_ap_antennas: int, num_clients: int,
+                         rng=None) -> ChannelTrace:
+    """A Rayleigh stand-in for a measured trace, one draw per (link,
+    subcarrier) — enough channel diversity that consecutive frames are
+    genuinely different detection problems."""
+    generator = as_generator(rng)
+    matrices = rayleigh_channels(
+        num_links * num_subcarriers, num_ap_antennas, num_clients,
+        generator).reshape(num_links, num_subcarriers, num_ap_antennas,
+                           num_clients)
+    return ChannelTrace(matrices=matrices, label="synthetic-cell")
+
+
+@dataclass
+class _User:
+    """One client's slowly varying link quality."""
+
+    mean_snr_db: float
+    snr_db: float
+
+    def step(self, memory: float, sigma_db: float, rng) -> float:
+        """Mean-reverting Gauss–Markov SNR walk (slow fading)."""
+        self.snr_db = (self.mean_snr_db
+                       + memory * (self.snr_db - self.mean_snr_db)
+                       + sigma_db * float(rng.standard_normal()))
+        return self.snr_db
+
+
+class CellWorkload:
+    """Poisson frame arrivals from a cell of heterogeneous users.
+
+    Parameters
+    ----------
+    trace:
+        Channel source; each arrival replays one (link, subcarrier-set)
+        slice.  Its client count bounds ``group_size``.
+    group_size:
+        Concurrent transmitters per frame (the MIMO order).
+    num_symbols:
+        OFDM symbols per frame.
+    arrival_rate_hz:
+        Poisson arrival intensity; inter-arrival gaps are exponential.
+    adapter:
+        SNR-threshold rate adaptation; the serving group's *worst* user
+        SNR picks the frame's modulation (everyone in a slot transmits
+        the same constellation, as in the paper's evaluation).
+    snr_span_db:
+        Users' mean SNRs are spread uniformly over this range, so the
+        workload mixes constellations instead of repeating one.
+    snr_window_db:
+        When set, each slot applies the paper's SNR-range user selection
+        around the group's median before transmitting.
+    soft_fraction:
+        Fraction of frames decoded soft (list sphere + LLRs); the rest
+        are hard maximum-likelihood frames.
+    list_size:
+        List size for the soft frames' decoders.
+    """
+
+    def __init__(self, trace: ChannelTrace, *, num_users: int = 8,
+                 group_size: int = 4, num_symbols: int = 4,
+                 arrival_rate_hz: float = 200.0,
+                 adapter: ThresholdRateAdapter | None = None,
+                 snr_span_db: tuple[float, float] = (14.0, 27.0),
+                 snr_memory: float = 0.9, snr_sigma_db: float = 1.0,
+                 snr_window_db: float | None = None,
+                 soft_fraction: float = 0.0, list_size: int = 16,
+                 rng=None) -> None:
+        require(trace.num_clients >= group_size,
+                f"trace carries {trace.num_clients} clients, cannot serve "
+                f"groups of {group_size}")
+        require(num_users >= group_size,
+                f"need at least {group_size} users, got {num_users}")
+        require(0.0 <= soft_fraction <= 1.0,
+                "soft_fraction must be in [0, 1]")
+        require(arrival_rate_hz > 0.0, "arrival rate must be positive")
+        self.trace = trace
+        self.group_size = group_size
+        self.num_symbols = num_symbols
+        self.arrival_rate_hz = arrival_rate_hz
+        self.adapter = ThresholdRateAdapter() if adapter is None else adapter
+        self.snr_memory = snr_memory
+        self.snr_sigma_db = snr_sigma_db
+        self.snr_window_db = snr_window_db
+        self.soft_fraction = soft_fraction
+        self.list_size = list_size
+        self._rng = as_generator(rng)
+        low, high = snr_span_db
+        means = np.linspace(low, high, num_users)
+        self.users = [_User(mean_snr_db=float(m), snr_db=float(m))
+                      for m in means]
+        self._schedule = round_robin_groups(num_users, group_size)
+        self._decoders: dict[tuple, object] = {}
+        self._slot = 0
+        self._clock_s = 0.0
+
+    # -- decoder cache: one per (kind, modulation) ----------------------
+    def _decoder(self, kind: str, order: int):
+        key = (kind, order)
+        decoder = self._decoders.get(key)
+        if decoder is None:
+            constellation = qam(order)
+            if kind == "soft":
+                decoder = ListSphereDecoder(constellation,
+                                            list_size=self.list_size)
+            else:
+                decoder = SphereDecoder(constellation)
+            self._decoders[key] = decoder
+        return decoder
+
+    def _serving_group(self) -> tuple[int, ...]:
+        """Next TDMA slot's group, optionally SNR-window filtered.
+
+        With a window set, outliers sit the slot out and the frame is
+        transmitted by the *smaller* group (a lower MIMO order) — the
+        paper's SNR-range user selection, which is exactly what makes
+        the workload's stream counts heterogeneous.  At least two
+        transmitters always remain so every frame is a MIMO detection.
+        """
+        group = self._schedule[self._slot % len(self._schedule)]
+        self._slot += 1
+        if self.snr_window_db is None:
+            return group
+        snrs = np.array([self.users[u].snr_db for u in group])
+        kept = select_users_in_snr_range(snrs, float(np.median(snrs)),
+                                         self.snr_window_db)
+        chosen = [group[i] for i in kept]
+        if len(chosen) >= 2:
+            return tuple(chosen)
+        # Degenerate window: backfill to a 2-stream minimum, best SNR
+        # first among the excluded users.
+        for index in np.argsort(-snrs):
+            if len(chosen) == 2:
+                break
+            if group[index] not in chosen:
+                chosen.append(group[index])
+        return tuple(sorted(chosen))
+
+    def next_frame(self) -> FrameRequest:
+        """Generate the next arrival: one frame of fresh traffic."""
+        rng = self._rng
+        self._clock_s += float(rng.exponential(1.0 / self.arrival_rate_hz))
+        group = self._serving_group()
+        num_streams = len(group)
+        snrs = [self.users[u].step(self.snr_memory, self.snr_sigma_db, rng)
+                for u in group]
+        frame_snr_db = float(min(snrs))
+        order = self.adapter.choose_order(frame_snr_db)
+        soft = bool(rng.random() < self.soft_fraction)
+        decoder = self._decoder("soft" if soft else "hard", order)
+        constellation = decoder.constellation
+
+        link = int(rng.integers(self.trace.num_links))
+        channels = self.trace.matrices[link][:, :, :num_streams]
+        num_subcarriers = channels.shape[0]
+        sent = rng.integers(0, order, size=(self.num_symbols,
+                                            num_subcarriers,
+                                            num_streams))
+        clean = np.einsum("tsc,sac->tsa", constellation.points[sent],
+                          channels)
+        noise_variance = float(np.mean(
+            [noise_variance_for_snr(channels[s], frame_snr_db)
+             for s in range(num_subcarriers)]))
+        received = clean + awgn(clean.shape, noise_variance, rng)
+        return FrameRequest(
+            channels=channels, received=received, decoder=decoder,
+            noise_variance=noise_variance if soft else None,
+            metadata={
+                "arrival_s": self._clock_s,
+                "group": group,
+                "snr_db": frame_snr_db,
+                "order": order,
+                "kind": "soft" if soft else "hard",
+                "sent_indices": sent,
+            })
+
+    def frames(self, count: int) -> list[FrameRequest]:
+        """The next ``count`` arrivals as a list."""
+        require(count >= 0, "frame count must be non-negative")
+        return [self.next_frame() for _ in range(count)]

@@ -1,0 +1,539 @@
+"""Resident streaming frontier: one engine, many frames in flight.
+
+The frame engines (:mod:`repro.frame.engine`, :mod:`repro.frame.soft_engine`)
+already advance every (subcarrier, OFDM symbol) search of *one* frame
+through a lockstep frontier — but they build their kernel arrays, run the
+frame, pay one straggler-drain tail, and tear everything down per call.
+At an access point frames arrive continuously, so this module keeps the
+frontier **resident**: kernel arrays and the lane pool are allocated once
+and survive across frames, freed lanes are refilled from the frame-tagged
+admission queue (:mod:`repro.runtime.queue`) regardless of which frame
+the next search belongs to, and the straggler drain happens when the
+queue runs dry — typically once per *workload*, not once per frame.
+
+Bit-exactness argument, unchanged from the frame engines: kernel state is
+fully re-initialised at admission and every per-tick quantity that
+depends on the channel is gathered from per-lane copies of the element's
+own ``R`` row, observation and diagonal scalings — the same float values
+the standalone engine gathers from its stacked factors.  Each search
+therefore executes exactly the scalar state machine regardless of which
+frames share a tick with it, so per-frame results and counters are
+bit-identical to standalone ``decode_frame`` for *every* admission order
+and in-flight interleaving (``tests/test_runtime.py`` enforces this, with
+a hypothesis sweep over submission permutations and budgets).
+
+Searches are grouped into **pools** by kernel signature (hard/soft,
+constellation, stream count, enumerator, pruning, node budget, list
+size): searches in one pool share kernel arrays and tick together, and
+the pools share the runtime's global lane budget, so a mixed-constellation
+cell workload still keeps every lane busy.  A homogeneous workload — the
+benchmark's 16-QAM 4x4 stream — is exactly one pool.
+
+Each pool allocates its kernel and lane arrays at the full global
+capacity even though the shared budget means they can never all fill at
+once — a deliberate simplicity/memory trade (a few MB per signature at
+the 2048-lane default): enumerator kernels size their per-slot state at
+construction, so growing a pool on demand would mean migrating live
+kernel state between arrays mid-search.  Demand-grown pools are listed
+as ROADMAP headroom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame.engine import (
+    DRAIN_THRESHOLD_CAP,
+    DEFAULT_LANE_CAPACITY,
+    _drain_element,
+    accumulate_interference,
+)
+from ..frame.scheduler import LanePool
+from ..frame.soft_engine import _drain_soft_element, insert_soft_leaves
+from ..sphere.batch_search import make_kernel
+from ..utils.validation import require
+from .queue import AdmissionQueue, FrameJob
+
+__all__ = ["StreamingFrontier"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class _PoolBase:
+    """Kernel arrays + lane state for one search signature.
+
+    All per-search state is *lane*-indexed (the streaming twin of the
+    frame engines' element-indexed arrays): a search owns its lane from
+    admission to finish, results are copied out to its frame's arrays the
+    moment it finishes, and the lane is recycled for the next queued
+    search of any frame.
+    """
+
+    def __init__(self, engine: "StreamingFrontier",
+                 template: FrameJob) -> None:
+        decoder = template.decoder
+        capacity = engine.capacity
+        num_streams = template.num_streams
+        self.engine = engine
+        self.decoder = decoder
+        self.constellation = decoder.constellation
+        self.num_streams = num_streams
+        self.node_budget = decoder.node_budget
+        self.initial_radius_sq = decoder.initial_radius_sq
+        if engine.drain_threshold is None:
+            self.drain_threshold = max(1, min(DRAIN_THRESHOLD_CAP,
+                                              capacity // 6))
+        else:
+            self.drain_threshold = engine.drain_threshold
+        self.queue = AdmissionQueue()
+        self.lanes = LanePool(capacity)
+        self.active = _EMPTY
+
+        levels = self.constellation.levels
+        self.symbol_grid = levels[:, None] + 1j * levels[None, :]
+        # Per-lane complexity tallies, copied to the frame at finish.
+        self.ped = np.zeros(capacity, dtype=np.int64)
+        self.visited = np.zeros(capacity, dtype=np.int64)
+        self.expanded = np.zeros(capacity, dtype=np.int64)
+        self.leaves = np.zeros(capacity, dtype=np.int64)
+        self.prunes = np.zeros(capacity, dtype=np.int64)
+        self.tallies = (self.ped, self.visited, self.expanded, self.leaves,
+                        self.prunes)
+        self.kernel = make_kernel(decoder, capacity * num_streams, levels,
+                                  self.ped, self.prunes)
+        # Which (frame, element) each lane is running.
+        self.job_of: list[FrameJob | None] = [None] * capacity
+        self.elem_of = np.zeros(capacity, dtype=np.int64)
+        # Per-lane copies of the element's channel: its subcarrier's R,
+        # rotated observation and diagonal scalings.  Same float values
+        # the frame engine gathers from the stacked factors.
+        self.lane_r = np.zeros((capacity, num_streams, num_streams),
+                               dtype=np.complex128)
+        self.lane_y = np.zeros((capacity, num_streams), dtype=np.complex128)
+        self.lane_diag = np.ones((capacity, num_streams))
+        self.lane_diag_sq = np.ones((capacity, num_streams))
+        # Search-path state, lane-indexed.
+        self.level = np.zeros(capacity, dtype=np.int64)
+        self.radius = np.zeros(capacity)
+        self.parent = np.zeros((capacity, num_streams))
+        self.path_cols = np.zeros((capacity, num_streams), dtype=np.int64)
+        self.path_rows = np.zeros((capacity, num_streams), dtype=np.int64)
+        self.chosen = np.zeros((capacity, num_streams), dtype=np.complex128)
+        self.parent_flat = self.parent.reshape(-1)
+        self.path_cols_flat = self.path_cols.reshape(-1)
+        self.path_rows_flat = self.path_rows.reshape(-1)
+        self.chosen_flat = self.chosen.reshape(-1)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.active.size or self.queue.pending)
+
+    # -- admission ------------------------------------------------------
+    def _reset_lanes(self, lanes: np.ndarray) -> None:
+        top = self.num_streams - 1
+        self.level[lanes] = top
+        self.radius[lanes] = self.initial_radius_sq
+        self.parent[lanes] = 0.0
+        self.path_cols[lanes] = 0
+        self.path_rows[lanes] = 0
+        self.chosen[lanes] = 0.0
+        self.ped[lanes] = 0
+        self.visited[lanes] = 0
+        self.leaves[lanes] = 0
+        self.prunes[lanes] = 0
+        self.expanded[lanes] = 1          # the root expansion
+
+    def _admit(self) -> None:
+        """Refill free lanes from the frame-tagged queue."""
+        room = min(self.lanes.free_lanes, self.engine.free_budget,
+                   self.queue.pending)
+        if room <= 0:
+            return
+        top = self.num_streams - 1
+        admitted = []
+        for job, elements in self.queue.take(room):
+            lanes = self.lanes.take(elements.size)
+            for lane in lanes.tolist():
+                self.job_of[lane] = job
+            self.elem_of[lanes] = elements
+            subcarriers = elements // job.num_symbols
+            self.lane_r[lanes] = job.r_stack[subcarriers]
+            self.lane_y[lanes] = job.y_flat[elements]
+            self.lane_diag[lanes] = job.diag_stack[subcarriers]
+            self.lane_diag_sq[lanes] = job.diag_sq_stack[subcarriers]
+            self._reset_lanes(lanes)
+            points = self.lane_y[lanes, top] / self.lane_diag[lanes, top]
+            self.kernel.init(lanes * self.num_streams + top, lanes, points)
+            admitted.append(lanes)
+        lanes = np.concatenate(admitted)
+        self.engine.in_use += lanes.size
+        if self.active.size == 0:
+            self.active = lanes
+        else:
+            self.active = np.concatenate([self.active, lanes])
+
+    # -- retirement -----------------------------------------------------
+    def _release(self, lanes: np.ndarray) -> None:
+        for lane in lanes.tolist():
+            self.job_of[lane] = None
+        self.lanes.release(lanes)
+        self.engine.in_use -= lanes.size
+
+    def _retire(self, job: FrameJob, count: int, completed: list) -> None:
+        job.remaining -= count
+        if job.remaining == 0:
+            completed.append(job)
+
+    def _by_job(self, lanes: np.ndarray):
+        groups: dict[int, tuple[FrameJob, list[int]]] = {}
+        for lane in lanes.tolist():
+            job = self.job_of[lane]
+            groups.setdefault(id(job), (job, []))[1].append(lane)
+        for job, job_lanes in groups.values():
+            yield job, np.asarray(job_lanes, dtype=np.int64)
+
+    def _finish_lockstep(self, lanes: np.ndarray, completed: list) -> None:
+        """Copy finished lockstep searches' results to their frames."""
+        for job, job_lanes in self._by_job(lanes):
+            elements = self.elem_of[job_lanes]
+            self._store(job, job_lanes, elements)
+            job.ped[elements] = self.ped[job_lanes]
+            job.visited[elements] = self.visited[job_lanes]
+            job.expanded[elements] = self.expanded[job_lanes]
+            job.leaves[elements] = self.leaves[job_lanes]
+            job.prunes[elements] = self.prunes[job_lanes]
+            self._retire(job, job_lanes.size, completed)
+        self._release(lanes)
+
+    def _drain_tail(self, completed: list) -> None:
+        """Finish the straggler tail at scalar speed (once the queue is
+        dry), exactly the frame engines' per-frame drain — here crossed
+        once per workload lull instead of once per frame."""
+        for lane in self.active.tolist():
+            job = self.job_of[lane]
+            element = int(self.elem_of[lane])
+            self._drain_one(job, lane, element)
+            self._retire(job, 1, completed)
+        self._release(self.active)
+        self.active = _EMPTY
+
+    # -- one breadth-synchronised step ----------------------------------
+    def tick(self, completed: list) -> None:
+        """Advance every active search one level, frame boundaries
+        ignored: budget stops, refill, drain check, then the kernel step
+        — the frame engines' loop body, verbatim, over lane-indexed
+        state."""
+        if self.node_budget is not None and self.active.size:
+            over = self.visited[self.active] >= self.node_budget
+            if over.any():
+                # Engineering guard, per element: stop and keep what the
+                # search banked so far — exactly the scalar early break.
+                self._finish_lockstep(self.active[over], completed)
+                self.active = self.active[~over]
+        if self.queue.pending and self.lanes.free_lanes:
+            self._admit()
+        if self.active.size == 0:
+            return
+        if (not self.queue.pending
+                and self.active.size <= self.drain_threshold):
+            self._drain_tail(completed)
+            return
+        self._step(completed)
+
+    def _step(self, completed: list) -> None:
+        num_streams = self.num_streams
+        active = self.active
+        lv = self.level[active]
+        slots = active * num_streams + lv
+        parent_distance = self.parent_flat[slots]
+        scale = self.lane_diag_sq[active, lv]
+        sphere = self.radius[active]
+        budget = (sphere - parent_distance) / scale
+        got, dist_sq, col, row = self.kernel.step(slots, active, budget)
+
+        if got.all():
+            accepted, lv_a, slots_a = active, lv, slots
+            parent_a, scale_a, sphere_a = parent_distance, scale, sphere
+        else:
+            accepted = active[got]
+            lv_a = lv[got]
+            slots_a = slots[got]
+            parent_a = parent_distance[got]
+            scale_a = scale[got]
+            sphere_a = sphere[got]
+            # Enumerator ran dry: pop the stack (climb one level); root
+            # pops finish the search and free its lane for the refill.
+            exhausted = active[~got]
+            new_level = self.level[exhausted] + 1
+            self.level[exhausted] = new_level
+            alive = new_level <= num_streams - 1
+            if alive.all():
+                survivors = exhausted
+            else:
+                survivors = exhausted[alive]
+                self._finish_lockstep(exhausted[~alive], completed)
+            active = np.concatenate([accepted, survivors])
+        self.active = active
+
+        if accepted.size:
+            distance = parent_a + scale_a * dist_sq
+            keep = self._accept_filter(distance, sphere_a)
+            if keep is not None and not keep.all():
+                accepted = accepted[keep]
+                lv_a = lv_a[keep]
+                slots_a = slots_a[keep]
+                distance = distance[keep]
+                col = col[keep]
+                row = row[keep]
+            self.visited[accepted] += 1
+            self.path_cols_flat[slots_a] = col
+            self.path_rows_flat[slots_a] = row
+            self.chosen_flat[slots_a] = self.symbol_grid[col, row]
+            leaf = lv_a == 0
+            if leaf.any():
+                self._bank_leaves(accepted[leaf], distance[leaf])
+                push = ~leaf
+            else:
+                push = None
+            if push is None or push.any():
+                if push is None:
+                    descending = accepted
+                    next_level = lv_a - 1
+                    parent_push = distance
+                else:
+                    descending = accepted[push]
+                    next_level = lv_a[push] - 1
+                    parent_push = distance[push]
+                # Each lane's own copy of its subcarrier row of R feeds
+                # the shared bit-exact accumulation.
+                interference = accumulate_interference(
+                    self.lane_r[descending, next_level],
+                    self.chosen[descending], next_level, num_streams)
+                points = ((self.lane_y[descending, next_level]
+                           - interference)
+                          / self.lane_diag[descending, next_level])
+                self.expanded[descending] += 1
+                self.kernel.init(descending * num_streams + next_level,
+                                 descending, points)
+                self.parent_flat[descending * num_streams + next_level] = (
+                    parent_push)
+                self.level[descending] = next_level
+
+
+class _HardPool(_PoolBase):
+    """Maximum-likelihood searches under the Schnorr–Euchner radius."""
+
+    def __init__(self, engine, template) -> None:
+        super().__init__(engine, template)
+        capacity = engine.capacity
+        self.best_cols = np.full((capacity, self.num_streams), -1,
+                                 dtype=np.int64)
+        self.best_rows = np.full((capacity, self.num_streams), -1,
+                                 dtype=np.int64)
+        self.best_dist = np.full(capacity, np.inf)
+
+    def _reset_lanes(self, lanes) -> None:
+        super()._reset_lanes(lanes)
+        self.best_cols[lanes] = -1
+        self.best_rows[lanes] = -1
+        self.best_dist[lanes] = np.inf
+
+    def _accept_filter(self, distance, sphere):
+        # Defensive guard mirroring the scalar loop; enumerators respect
+        # the budget, so this should never trigger.
+        return distance < sphere
+
+    def _bank_leaves(self, at_leaf, leaf_distance) -> None:
+        self.leaves[at_leaf] += 1
+        # Schnorr–Euchner radius update, per element.
+        self.radius[at_leaf] = leaf_distance
+        self.best_dist[at_leaf] = leaf_distance
+        self.best_cols[at_leaf] = self.path_cols[at_leaf]
+        self.best_rows[at_leaf] = self.path_rows[at_leaf]
+
+    def _store(self, job, lanes, elements) -> None:
+        found = np.isfinite(self.best_dist[lanes])
+        job.found[elements] = found
+        job.distances[elements] = self.best_dist[lanes]
+        if found.any():
+            hit_lanes = lanes[found]
+            best = self.constellation.index_of(self.best_cols[hit_lanes],
+                                               self.best_rows[hit_lanes])
+            job.indices[elements[found]] = best
+            job.symbols[elements[found]] = self.constellation.points[best]
+
+    def _drain_one(self, job, lane, element) -> None:
+        subcarrier = job.subcarrier_of(element)
+        result = _drain_element(
+            job.decoder, self.kernel, lane, lane, job.r_stack[subcarrier],
+            job.y_flat[element], job.diag_stack[subcarrier],
+            job.diag_sq_stack[subcarrier], self.level, self.parent_flat,
+            self.radius, self.chosen, self.path_cols, self.path_rows,
+            self.best_cols, self.best_rows, self.best_dist, self.tallies)
+        job.found[element] = result.found
+        job.indices[element] = result.symbol_indices
+        job.symbols[element] = result.symbols
+        job.distances[element] = result.distance_sq
+        tally = result.counters
+        job.ped[element] = tally.ped_calcs
+        job.visited[element] = tally.visited_nodes
+        job.expanded[element] = tally.expanded_nodes
+        job.leaves[element] = tally.leaves
+        job.prunes[element] = tally.geometric_prunes
+
+
+class _SoftPool(_PoolBase):
+    """List searches under the bounded-best-leaf radius policy."""
+
+    def __init__(self, engine, template) -> None:
+        super().__init__(engine, template)
+        capacity = engine.capacity
+        list_size = template.decoder.list_size
+        self.list_size = list_size
+        self.list_d = np.full((capacity, list_size), np.inf)
+        self.list_seq = np.zeros((capacity, list_size), dtype=np.int64)
+        self.list_cols = np.zeros((capacity, list_size, self.num_streams),
+                                  dtype=np.int64)
+        self.list_rows = np.zeros((capacity, list_size, self.num_streams),
+                                  dtype=np.int64)
+        self.list_n = np.zeros(capacity, dtype=np.int64)
+        self.leaf_seq = np.zeros(capacity, dtype=np.int64)
+
+    def _reset_lanes(self, lanes) -> None:
+        super()._reset_lanes(lanes)
+        self.list_d[lanes] = np.inf
+        self.list_seq[lanes] = 0
+        self.list_cols[lanes] = 0
+        self.list_rows[lanes] = 0
+        self.list_n[lanes] = 0
+        self.leaf_seq[lanes] = 0
+
+    def _accept_filter(self, distance, sphere):
+        # No defensive radius re-check: the scalar list search visits
+        # every candidate its enumerator yields within budget.
+        return None
+
+    def _bank_leaves(self, at_leaf, leaf_distance) -> None:
+        self.leaves[at_leaf] += 1
+        self.leaf_seq[at_leaf] += 1
+        insert_soft_leaves(at_leaf, leaf_distance, self.leaf_seq[at_leaf],
+                           self.path_cols, self.path_rows, self.list_d,
+                           self.list_seq, self.list_cols, self.list_rows,
+                           self.list_n, self.radius, self.list_size)
+
+    def _store(self, job, lanes, elements) -> None:
+        job.list_d[elements] = self.list_d[lanes]
+        job.list_seq[elements] = self.list_seq[lanes]
+        job.list_cols[elements] = self.list_cols[lanes]
+        job.list_rows[elements] = self.list_rows[lanes]
+        job.list_n[elements] = self.list_n[lanes]
+
+    def _drain_one(self, job, lane, element) -> None:
+        subcarrier = job.subcarrier_of(element)
+        outcome = _drain_soft_element(
+            job.decoder, self.kernel, lane, lane, job.r_stack[subcarrier],
+            job.y_flat[element], job.diag_stack[subcarrier],
+            job.diag_sq_stack[subcarrier], self.level, self.parent_flat,
+            self.radius, self.chosen, self.path_cols, self.path_rows,
+            self.list_d, self.list_seq, self.list_cols, self.list_rows,
+            self.list_n, self.leaf_seq, self.tallies)
+        # Write the continued search's list into the frame's slot arrays
+        # so its frame-wide LLR extraction covers it too.
+        job.list_n[element] = len(outcome.heap)
+        for slot, (neg_distance, seq, cols, rows) in enumerate(outcome.heap):
+            job.list_d[element, slot] = -neg_distance
+            job.list_seq[element, slot] = seq
+            job.list_cols[element, slot] = cols
+            job.list_rows[element, slot] = rows
+        tally = outcome.counters
+        job.ped[element] = tally.ped_calcs
+        job.visited[element] = tally.visited_nodes
+        job.expanded[element] = tally.expanded_nodes
+        job.leaves[element] = tally.leaves
+        job.prunes[element] = tally.geometric_prunes
+
+
+class StreamingFrontier:
+    """The resident multi-frame engine behind
+    :class:`~repro.runtime.session.UplinkRuntime`.
+
+    Parameters
+    ----------
+    capacity:
+        Global lane budget shared by every kernel pool (default
+        :data:`~repro.frame.engine.DEFAULT_LANE_CAPACITY`) — how many
+        searches, across all in-flight frames, advance in lockstep at
+        once.
+    drain_threshold:
+        Hand survivors to the scalar continuation once a pool's queue is
+        empty *and* its active set is this small.  Default: the frame
+        engine's rule — ``capacity // 6`` capped at
+        :data:`~repro.frame.engine.DRAIN_THRESHOLD_CAP` (32) survivors;
+        ``0`` keeps every search in lockstep to the end.
+    """
+
+    def __init__(self, *, capacity: int | None = None,
+                 drain_threshold: int | None = None) -> None:
+        if capacity is None:
+            capacity = DEFAULT_LANE_CAPACITY
+        require(capacity >= 1, "streaming frontier needs at least one lane")
+        require(drain_threshold is None or drain_threshold >= 0,
+                "drain threshold must be non-negative when given")
+        self.capacity = capacity
+        self.drain_threshold = drain_threshold
+        self.in_use = 0
+        self._pools: dict[tuple, _PoolBase] = {}
+
+    @property
+    def free_budget(self) -> int:
+        """Lanes left under the global budget, across all pools."""
+        return self.capacity - self.in_use
+
+    @property
+    def pending(self) -> int:
+        """Searches queued but not yet in a lane, across all pools."""
+        return sum(pool.queue.pending for pool in self._pools.values())
+
+    @property
+    def active_lanes(self) -> int:
+        return sum(pool.active.size for pool in self._pools.values())
+
+    @property
+    def idle(self) -> bool:
+        return not any(pool.has_work for pool in self._pools.values())
+
+    def occupancy(self) -> float:
+        """Fraction of the lane budget currently advancing searches."""
+        return self.active_lanes / self.capacity
+
+    @staticmethod
+    def _pool_key(job: FrameJob) -> tuple:
+        decoder = job.decoder
+        key = (job.kind, job.num_streams,
+               decoder.constellation.levels.tobytes(), decoder.enumerator,
+               decoder.geometric_pruning, decoder.node_budget,
+               decoder.initial_radius_sq)
+        if job.kind == "soft":
+            key += (decoder.list_size,)
+        return key
+
+    def submit(self, job: FrameJob) -> None:
+        """Queue every search of an admitted frame, tagged with its id."""
+        key = self._pool_key(job)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = (_SoftPool if job.kind == "soft" else _HardPool)(
+                self, job)
+            self._pools[key] = pool
+        pool.queue.push(job)
+
+    def tick(self) -> list[FrameJob]:
+        """One breadth-synchronised step of every pool with work.
+
+        Returns the frames that finished their last search this tick.
+        """
+        completed: list[FrameJob] = []
+        for pool in self._pools.values():
+            if pool.has_work:
+                pool.tick(completed)
+        return completed

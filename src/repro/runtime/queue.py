@@ -1,0 +1,249 @@
+"""Frame admission queue: frame-id-tagged searches for the runtime.
+
+The streaming runtime (:mod:`repro.runtime.engine`) keeps one frontier
+engine resident and pipelines many frames through its lane pool.  Its
+unit of work is still a single (subcarrier, OFDM symbol) search — exactly
+the frame engine's — but the searches now come from *different frames*,
+so every queued search carries a frame id and a frame-local element
+index.  This module owns that tagging: a :class:`FrameRequest` describes
+one frame as submitted by the caller, a :class:`FrameJob` is the
+runtime's per-frame state (preprocessed factors, per-element result
+arrays, completion accounting), and the :class:`AdmissionQueue` is a
+frame-ordered FIFO of (frame, element) tags that refills freed lanes from
+*any* admitted frame — frame N+1's searches enter lanes while frame N's
+stragglers drain, which is where the pipelining throughput comes from.
+
+Admission order cannot change any per-frame result: each search executes
+exactly the scalar state machine regardless of what shares a tick with
+it, so results and counters stay bit-identical to standalone
+``decode_frame`` for every interleaving (the property
+``tests/test_runtime.py`` enforces).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..frame.preprocess import rotate_frame, triangularize_frame
+from ..frame.results import (
+    FrameDecodeResult,
+    SoftFrameResult,
+    empty_frame_result,
+    empty_soft_frame_result,
+    sum_tally_counters,
+)
+from ..sphere.counters import ComplexityCounters
+from ..sphere.soft import soft_outputs_from_lists
+from ..utils.validation import require
+
+__all__ = ["AdmissionQueue", "FrameJob", "FrameRequest"]
+
+
+@dataclass
+class FrameRequest:
+    """One uplink frame as submitted to the runtime.
+
+    Attributes
+    ----------
+    channels:
+        ``(S, na, nc)`` per-subcarrier channel matrices.
+    received:
+        ``(T, S, na)`` frequency-domain observations.
+    decoder:
+        A :class:`~repro.sphere.decoder.SphereDecoder` (hard decisions)
+        or :class:`~repro.sphere.soft.ListSphereDecoder` (soft output) —
+        anything with the resumable scalar continuation the straggler
+        drain needs.
+    noise_variance:
+        Post-detection noise power; required for soft decoders (the LLR
+        scale), ignored for hard ones.
+    metadata:
+        Free-form tags (user ids, arrival time, chosen modulation...)
+        carried through to the pending handle untouched.
+    """
+
+    channels: np.ndarray
+    received: np.ndarray
+    decoder: object
+    noise_variance: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+class FrameJob:
+    """Runtime-side state of one admitted frame.
+
+    Preprocessing happens once at construction — the same stacked QR
+    sweep and rotation ``decode_frame`` performs — and the per-element
+    result and counter arrays fill in as the streaming engine finishes
+    searches (in whatever order lanes free up).  ``finalise`` assembles
+    exactly the result object the standalone frame engines build, so a
+    pipelined frame is bit-identical to a frame-at-a-time one.
+    """
+
+    def __init__(self, frame_id: int, request: FrameRequest) -> None:
+        decoder = request.decoder
+        if hasattr(decoder, "_continue_search_soft"):
+            kind = "soft"
+            require(request.noise_variance is not None
+                    and request.noise_variance > 0.0,
+                    "soft frames need a positive noise_variance")
+        elif hasattr(decoder, "_continue_search"):
+            kind = "hard"
+        else:
+            require(False,
+                    f"runtime cannot stream {type(decoder).__name__}: the "
+                    "decoder exposes neither the hard nor the soft "
+                    "resumable search (use SphereDecoder or "
+                    "ListSphereDecoder)")
+        channels = np.asarray(request.channels, dtype=np.complex128)
+        received = np.asarray(request.received, dtype=np.complex128)
+        require(channels.ndim == 3, "channels must be (S, na, nc)")
+        require(received.ndim == 3, "received must be (T, S, na)")
+        require(received.shape[1] == channels.shape[0],
+                f"received has {received.shape[1]} subcarriers, channels "
+                f"have {channels.shape[0]}")
+        require(received.shape[2] == channels.shape[1],
+                f"received has {received.shape[2]} antennas, channels have "
+                f"{channels.shape[1]}")
+        self.frame_id = frame_id
+        self.kind = kind
+        self.decoder = decoder
+        self.noise_variance = request.noise_variance
+        self.metadata = request.metadata
+
+        q_stack, r_stack = triangularize_frame(channels)
+        y_hat = rotate_frame(q_stack, received)          # (S, T, nc)
+        num_subcarriers, num_symbols, num_streams = y_hat.shape
+        self.r_stack = r_stack
+        self.y_flat = y_hat.reshape(num_subcarriers * num_symbols,
+                                    num_streams)
+        # Shared per-subcarrier scalings: same ops as the frame engine.
+        self.diag_stack = np.real(np.einsum("sii->si", r_stack)).copy()
+        self.diag_sq_stack = self.diag_stack * self.diag_stack
+        self.num_subcarriers = num_subcarriers
+        self.num_symbols = num_symbols
+        self.num_streams = num_streams
+        self.num_problems = num_subcarriers * num_symbols
+        self.remaining = self.num_problems
+
+        # Element e = subcarrier * T + symbol, the frame engine's layout.
+        count = self.num_problems
+        self.ped = np.zeros(count, dtype=np.int64)
+        self.visited = np.zeros(count, dtype=np.int64)
+        self.expanded = np.zeros(count, dtype=np.int64)
+        self.leaves = np.zeros(count, dtype=np.int64)
+        self.prunes = np.zeros(count, dtype=np.int64)
+        if kind == "hard":
+            self.found = np.zeros(count, dtype=bool)
+            self.indices = np.full((count, num_streams), -1, dtype=np.int64)
+            self.symbols = np.full((count, num_streams), np.nan + 0j,
+                                   dtype=np.complex128)
+            self.distances = np.full(count, np.inf)
+        else:
+            list_size = decoder.list_size
+            self.list_d = np.full((count, list_size), np.inf)
+            self.list_seq = np.zeros((count, list_size), dtype=np.int64)
+            self.list_cols = np.zeros((count, list_size, num_streams),
+                                      dtype=np.int64)
+            self.list_rows = np.zeros((count, list_size, num_streams),
+                                      dtype=np.int64)
+            self.list_n = np.zeros(count, dtype=np.int64)
+
+    def subcarrier_of(self, element: int) -> int:
+        return element // self.num_symbols
+
+    def _totals(self) -> ComplexityCounters:
+        return sum_tally_counters(self.ped, self.visited, self.expanded,
+                                  self.leaves, self.prunes,
+                                  self.num_streams)
+
+    def finalise(self) -> FrameDecodeResult | SoftFrameResult:
+        """Assemble the frame result once every element has finished.
+
+        The exact assembly the standalone engines perform: ``(S, T)``
+        element order transposed to ``(T, S)``-leading tensors, counters
+        summed once over the per-element tallies, and — for soft frames —
+        one frame-wide vectorised LLR extraction over the stacked lists.
+        """
+        require(self.remaining == 0,
+                f"frame {self.frame_id} still has {self.remaining} "
+                "unfinished searches")
+        frame_shape = (self.num_subcarriers, self.num_symbols)
+        num_streams = self.num_streams
+        if self.num_problems == 0:
+            if self.kind == "hard":
+                return empty_frame_result(self.num_symbols,
+                                          self.num_subcarriers, num_streams)
+            return empty_soft_frame_result(
+                self.num_symbols, self.num_subcarriers, num_streams,
+                self.decoder.constellation.bits_per_symbol)
+        if self.kind == "hard":
+            return FrameDecodeResult(
+                found=self.found.reshape(frame_shape).T,
+                symbol_indices=self.indices.reshape(
+                    frame_shape + (num_streams,)).transpose(1, 0, 2),
+                symbols=self.symbols.reshape(
+                    frame_shape + (num_streams,)).transpose(1, 0, 2),
+                distances_sq=self.distances.reshape(frame_shape).T,
+                counters=self._totals())
+        llrs, best_indices, best_symbols = soft_outputs_from_lists(
+            self.decoder.constellation, self.list_d, self.list_seq,
+            self.list_cols, self.list_rows, self.list_n,
+            self.noise_variance, self.decoder.clamp)
+        return SoftFrameResult(
+            llrs=llrs.reshape(frame_shape + (-1,)).transpose(1, 0, 2),
+            symbol_indices=best_indices.reshape(
+                frame_shape + (num_streams,)).transpose(1, 0, 2),
+            symbols=best_symbols.reshape(
+                frame_shape + (num_streams,)).transpose(1, 0, 2),
+            list_sizes=self.list_n.reshape(frame_shape).T,
+            counters=self._totals())
+
+
+class AdmissionQueue:
+    """Frame-ordered FIFO of frame-id-tagged searches.
+
+    Frames append as contiguous segments; :meth:`take` pops searches
+    across segment boundaries, so a refill batch can mix the tail of one
+    frame with the head of the next — the runtime's lanes never idle
+    while any admitted frame still has work.
+    """
+
+    def __init__(self) -> None:
+        self._segments: deque[list] = deque()
+        self._pending = 0
+
+    @property
+    def pending(self) -> int:
+        """Searches admitted but not yet handed to a lane."""
+        return self._pending
+
+    def push(self, job: FrameJob) -> None:
+        """Admit a frame: tag and enqueue all of its searches."""
+        if job.num_problems:
+            self._segments.append([job, 0])
+            self._pending += job.num_problems
+
+    def take(self, count: int) -> list[tuple[FrameJob, np.ndarray]]:
+        """Pop up to ``count`` searches in frame-FIFO order.
+
+        Returns ``(job, elements)`` runs — one per frame touched — where
+        ``elements`` are frame-local element indices.
+        """
+        batches: list[tuple[FrameJob, np.ndarray]] = []
+        while count > 0 and self._segments:
+            segment = self._segments[0]
+            job, start = segment
+            stop = min(start + count, job.num_problems)
+            batches.append((job, np.arange(start, stop, dtype=np.int64)))
+            taken = stop - start
+            count -= taken
+            self._pending -= taken
+            if stop == job.num_problems:
+                self._segments.popleft()
+            else:
+                segment[1] = stop
+        return batches

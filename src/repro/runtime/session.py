@@ -1,0 +1,189 @@
+"""Session API of the streaming uplink runtime: submit / poll / drain.
+
+:class:`UplinkRuntime` is the cell-scale entry point above the frame
+engines: callers hand it whole frames (hard or soft) as they arrive and
+get :class:`PendingFrame` handles back; one resident
+:class:`~repro.runtime.engine.StreamingFrontier` advances every in-flight
+frame's searches together, so frame N+1 fills the lanes frame N's
+stragglers no longer need.  Backpressure is a bounded in-flight frame
+budget: when the cell offers more load than the engine clears,
+:meth:`UplinkRuntime.submit` runs the shared tick loop until a frame
+completes and its budget slot frees — arrival rate degrades gracefully to
+service rate instead of queue state growing without bound.
+
+Per-frame results are **bit-identical** to standalone
+``SphereDecoder.decode_frame`` / ``ListSphereDecoder.decode_frame``
+(results, LLRs, counters) for every admission order and interleaving —
+the runtime contract ``tests/test_runtime.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..utils.validation import require
+from .engine import StreamingFrontier
+from .queue import FrameJob, FrameRequest
+from .stats import RuntimeStats
+
+__all__ = ["PendingFrame", "UplinkRuntime"]
+
+#: Default bound on frames decoded concurrently.  Deep enough to bridge
+#: every frame's straggler tail with the next frames' fresh searches,
+#: shallow enough that per-frame latency stays a small multiple of the
+#: frame-at-a-time latency under overload.
+DEFAULT_MAX_IN_FLIGHT = 8
+
+
+class PendingFrame:
+    """Handle for one submitted frame.
+
+    Resolves when the runtime finishes the frame's last search;
+    :meth:`result` then returns exactly what standalone ``decode_frame``
+    would have (a :class:`~repro.frame.results.FrameDecodeResult` or
+    :class:`~repro.frame.results.SoftFrameResult`).
+    """
+
+    def __init__(self, frame_id: int, kind: str, metadata: dict,
+                 submitted_at: float) -> None:
+        self.frame_id = frame_id
+        self.kind = kind
+        self.metadata = metadata
+        self.submitted_at = submitted_at
+        self.completed_at: float | None = None
+        self._result = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency_s(self) -> float:
+        """Submit-to-completion wall time."""
+        require(self.done, f"frame {self.frame_id} has not completed")
+        return self.completed_at - self.submitted_at
+
+    def result(self):
+        require(self.done, f"frame {self.frame_id} has not completed; "
+                "poll() or drain() the runtime first")
+        return self._result
+
+
+class UplinkRuntime:
+    """Streaming uplink receiver: many frames through one resident engine.
+
+    Parameters
+    ----------
+    capacity, drain_threshold:
+        Engine knobs, exactly as in
+        :func:`repro.frame.engine.frame_decode_sphere`: the shared lane
+        budget, and the straggler handoff point (default ``capacity //
+        6`` capped at ``DRAIN_THRESHOLD_CAP = 32`` survivors).
+    max_in_flight:
+        In-flight frame budget (backpressure): ``submit`` blocks — by
+        running the tick loop — while this many frames are unfinished.
+    """
+
+    def __init__(self, *, capacity: int | None = None,
+                 drain_threshold: int | None = None,
+                 max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+                 clock=time.perf_counter) -> None:
+        require(max_in_flight >= 1, "need an in-flight budget of at least 1")
+        self._engine = StreamingFrontier(capacity=capacity,
+                                         drain_threshold=drain_threshold)
+        self.max_in_flight = max_in_flight
+        self.stats = RuntimeStats()
+        self._clock = clock
+        self._next_frame_id = 0
+        self._handles: dict[int, PendingFrame] = {}
+        self._completed_backlog: list[PendingFrame] = []
+
+    # -- introspection --------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Submitted frames not yet completed."""
+        return len(self._handles)
+
+    @property
+    def idle(self) -> bool:
+        return self._engine.idle and not self._handles
+
+    @property
+    def capacity(self) -> int:
+        return self._engine.capacity
+
+    # -- the tick loop --------------------------------------------------
+    def _tick(self) -> list[PendingFrame]:
+        finished = self._engine.tick()
+        self.stats.record_tick(self._engine.occupancy())
+        newly_done = []
+        for job in finished:
+            newly_done.append(self._complete(job))
+        return newly_done
+
+    def _complete(self, job: FrameJob) -> PendingFrame:
+        handle = self._handles.pop(job.frame_id)
+        handle._result = job.finalise()
+        handle.completed_at = self._clock()
+        self.stats.record_complete(handle.completed_at, handle.latency_s,
+                                   job.num_problems,
+                                   handle._result.counters)
+        return handle
+
+    # -- public API -----------------------------------------------------
+    def submit(self, frame: FrameRequest) -> PendingFrame:
+        """Admit one frame; returns its pending handle.
+
+        Preprocessing (the stacked QR sweep) happens here; the frame's
+        searches then enter the shared admission queue tagged with its
+        frame id.  If the in-flight budget is full, the runtime ticks the
+        engine until a frame completes before admitting this one.
+
+        The handle's ``submitted_at`` is stamped *on arrival* — before
+        any backpressure wait and before preprocessing — so latency
+        percentiles include queueing delay, the quantity that actually
+        grows under overload.
+        """
+        submitted_at = self._clock()
+        while len(self._handles) >= self.max_in_flight:
+            self._completed_backlog.extend(self._tick())
+        frame_id = self._next_frame_id
+        job = FrameJob(frame_id, frame)      # validates; may raise
+        self._next_frame_id += 1
+        self.stats.record_submit(submitted_at)
+        handle = PendingFrame(frame_id, job.kind, job.metadata, submitted_at)
+        self._handles[frame_id] = handle
+        if job.num_problems == 0:
+            # Degenerate frame (no subcarriers or no symbols): complete
+            # immediately with the same empty result ``decode_frame``
+            # builds.
+            self._completed_backlog.append(self._complete(job))
+        else:
+            self._engine.submit(job)
+        return handle
+
+    def poll(self, max_ticks: int | None = None) -> list[PendingFrame]:
+        """Advance the engine and return frames completed so far.
+
+        Runs the tick loop until at least one frame completes, the
+        runtime goes idle, or ``max_ticks`` elapses; completions that
+        piled up during backpressured ``submit`` calls are returned
+        first.
+        """
+        done = self._completed_backlog
+        self._completed_backlog = []
+        ticks = 0
+        while (not done and self._handles
+               and (max_ticks is None or ticks < max_ticks)):
+            done.extend(self._tick())
+            ticks += 1
+        return done
+
+    def drain(self) -> list[PendingFrame]:
+        """Run every admitted frame to completion; returns them in
+        completion order (backpressure backlog first)."""
+        done = self._completed_backlog
+        self._completed_backlog = []
+        while self._handles:
+            done.extend(self._tick())
+        return done

@@ -1,0 +1,112 @@
+"""Runtime telemetry: sustained throughput, latency tails, occupancy.
+
+The Geosphere pitch is *consistent* throughput under sustained load, so
+the runtime's observability is framed the way queueing evaluations frame
+it: frames per second over the busy interval, per-frame latency
+percentiles (tail latency is where straggler searches show up), lane
+occupancy (how full the lockstep frontier actually runs — the quantity
+multi-frame pipelining exists to raise), and the visited-node/PED totals
+that tie wall-clock back to the paper's complexity metrics.  The session
+layer feeds one sample per tick and one record per frame; everything here
+is cheap enough to leave on permanently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..sphere.counters import ComplexityCounters
+from ..utils.validation import require
+
+__all__ = ["RuntimeStats"]
+
+#: Per-frame latency samples retained for the percentile reports.  A
+#: bounded sliding window keeps a permanently-resident runtime's
+#: telemetry O(1) in memory; recent frames are also what a tail-latency
+#: report should describe.
+DEFAULT_LATENCY_WINDOW = 4096
+
+
+class RuntimeStats:
+    """Aggregated telemetry for one :class:`~repro.runtime.session.UplinkRuntime`.
+
+    Counts, rates and occupancy are running aggregates; latency
+    percentiles are computed over a sliding window of the most recent
+    ``latency_window`` completions, so a resident runtime's footprint
+    stays bounded no matter how long it serves.
+    """
+
+    def __init__(self, latency_window: int = DEFAULT_LATENCY_WINDOW) -> None:
+        require(latency_window >= 1, "latency window must be positive")
+        self.frames_submitted = 0
+        self.frames_completed = 0
+        self.searches_completed = 0
+        self.ticks = 0
+        self.counters = ComplexityCounters()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._occupancy_sum = 0.0
+        self._first_submit: float | None = None
+        self._last_complete: float | None = None
+
+    # -- recording hooks (called by the session) ------------------------
+    def record_submit(self, now: float) -> None:
+        self.frames_submitted += 1
+        if self._first_submit is None:
+            self._first_submit = now
+
+    def record_tick(self, occupancy: float) -> None:
+        self.ticks += 1
+        self._occupancy_sum += occupancy
+
+    def record_complete(self, now: float, latency_s: float, detections: int,
+                        counters: ComplexityCounters) -> None:
+        self.frames_completed += 1
+        self.searches_completed += detections
+        self._latencies.append(latency_s)
+        self._last_complete = now
+        self.counters.merge(counters)
+
+    # -- derived metrics ------------------------------------------------
+    @property
+    def elapsed_s(self) -> float:
+        """Busy interval: first submission to last completion."""
+        if self._first_submit is None or self._last_complete is None:
+            return 0.0
+        return self._last_complete - self._first_submit
+
+    def frames_per_second(self) -> float:
+        """Sustained completion rate over the busy interval."""
+        elapsed = self.elapsed_s
+        return self.frames_completed / elapsed if elapsed > 0.0 else 0.0
+
+    def latency_percentiles(self, percentiles=(50, 90, 99)) -> dict[int, float]:
+        """Per-frame submit-to-completion latency percentiles (seconds),
+        over the most recent window of completions."""
+        require(len(self._latencies) > 0,
+                "no completed frames to take percentiles over")
+        values = np.percentile(np.asarray(self._latencies), percentiles)
+        return {int(p): float(v) for p, v in zip(percentiles, values)}
+
+    def mean_lane_occupancy(self) -> float:
+        """Average fraction of the lane budget busy per tick."""
+        return self._occupancy_sum / self.ticks if self.ticks else 0.0
+
+    def summary(self) -> dict:
+        """One dict with the headline numbers (benchmark ``extra_info``
+        friendly)."""
+        report = {
+            "frames_submitted": self.frames_submitted,
+            "frames_completed": self.frames_completed,
+            "searches_completed": self.searches_completed,
+            "ticks": self.ticks,
+            "elapsed_s": self.elapsed_s,
+            "frames_per_second": self.frames_per_second(),
+            "mean_lane_occupancy": self.mean_lane_occupancy(),
+            "visited_nodes": self.counters.visited_nodes,
+            "ped_calcs": self.counters.ped_calcs,
+        }
+        if self._latencies:
+            report["latency_percentiles_s"] = self.latency_percentiles()
+        return report

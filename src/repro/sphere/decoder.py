@@ -300,8 +300,15 @@ class SphereDecoder:
         different subcarriers share kernel arrays via the slot scheduler,
         freed slots are refilled from the frame-wide work queue, and the
         straggler drain happens once per frame instead of once per
-        subcarrier.  Results and aggregated counters are bit-identical to
-        per-subcarrier :meth:`decode_block` calls.  Decoders built with
+        subcarrier.  ``capacity`` bounds the lane pool (how many searches
+        tick in lockstep) and ``drain_threshold`` sets the survivor count
+        at which the scalar continuation takes over — defaulting to
+        ``min(capacity, S*T) // 6`` capped at
+        :data:`~repro.frame.engine.DRAIN_THRESHOLD_CAP` (32) survivors,
+        the cap measured best at frame scale.  Results and aggregated
+        counters are bit-identical to
+        per-subcarrier :meth:`decode_block` calls — for every knob
+        setting.  Decoders built with
         ``batch_strategy="loop"`` (and tiny frames below
         ``FRONTIER_MIN_BATCH`` searches) take the per-subcarrier
         reference driver instead — same results, no frame frontier.

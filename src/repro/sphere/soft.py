@@ -313,11 +313,16 @@ class ListSphereDecoder:
         (:mod:`repro.frame.preprocess`) and the S×T list searches run
         through a single frame engine instance
         (:func:`repro.frame.soft_engine.frame_decode_soft`), with one
-        straggler drain and one frame-wide LLR extraction.  LLRs, list
-        membership, hard decisions and aggregated counters are
+        straggler drain and one frame-wide LLR extraction.  ``capacity``
+        bounds the lane pool and ``drain_threshold`` sets the survivor
+        count for the scalar handoff — defaulting to
+        ``min(capacity, S*T) // 6`` capped at
+        :data:`~repro.frame.engine.DRAIN_THRESHOLD_CAP` (32) survivors.
+        LLRs, list membership, hard decisions and aggregated counters are
         bit-identical to scalar :meth:`decode_soft_triangular` calls per
-        slot.  Decoders built with ``batch_strategy="loop"`` (and tiny
-        frames) take the scalar reference driver instead.
+        slot — for every knob setting.  Decoders built with
+        ``batch_strategy="loop"`` (and tiny frames) take the scalar
+        reference driver instead.
 
         Returns a :class:`~repro.frame.results.SoftFrameResult` with
         ``(T, S)``-leading result tensors.

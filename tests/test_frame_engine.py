@@ -597,6 +597,32 @@ class TestSimulateFrameSoftStrategies:
             simulate_frame_soft(np.eye(4), decoder, config, 12.0,
                                 frame_strategy="bogus")
 
+    def test_engine_knobs_plumbed_and_validated(self):
+        from repro.phy import default_config, rayleigh_source
+        from repro.phy.soft_link import simulate_frame_soft
+
+        config = default_config(order=16, payload_bits=184)
+        decoder = ListSphereDecoder(config.constellation, list_size=8)
+        outcomes = []
+        for knobs in ({}, {"capacity": 5, "drain_threshold": 2}):
+            source = rayleigh_source(4, 2, rng=31)
+            outcomes.append(simulate_frame_soft(
+                source(), decoder, config, 12.0,
+                rng=np.random.default_rng(5), **knobs))
+        # The knobs trade wall-clock only: results are bit-identical.
+        assert np.array_equal(outcomes[0].stream_success,
+                              outcomes[1].stream_success)
+        assert outcomes[0].counters == outcomes[1].counters
+
+        with pytest.raises(ValueError, match="frame frontier"):
+            simulate_frame_soft(np.eye(4), decoder, config, 12.0,
+                                frame_strategy="per_subcarrier", capacity=4)
+        loop_decoder = ListSphereDecoder(config.constellation, list_size=8,
+                                         batch_strategy="loop")
+        with pytest.raises(ValueError, match="frame frontier"):
+            simulate_frame_soft(np.eye(4), loop_decoder, config, 12.0,
+                                capacity=4)
+
 
 # ----------------------------------------------------------------------
 # K-best cross-subcarrier expansion

@@ -1,0 +1,372 @@
+"""Streaming runtime: bit-exactness, admission-order invariance, API.
+
+The runtime contract is that pipelining frames through the resident
+frontier engine is *pure scheduling*: per-frame results and
+``ComplexityCounters`` must be bit-identical to standalone
+``decode_frame`` for every admission order, in-flight budget, lane
+capacity and drain threshold.  The sweeps here mix hard and soft frames,
+constellations, stream counts and SNRs in one runtime, and the
+hypothesis property randomises the interleaving itself.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import awgn, noise_variance_for_snr, rayleigh_channels
+from repro.constellation import qam
+from repro.phy.receiver import detect_uplink
+from repro.detect import SphereDetector, ZeroForcingDetector
+from repro.runtime import (
+    AdmissionQueue,
+    CellWorkload,
+    FrameJob,
+    FrameRequest,
+    UplinkRuntime,
+    synthetic_cell_trace,
+)
+from repro.sphere import KBestDecoder, ListSphereDecoder, SphereDecoder
+
+
+def _make_frame(decoder, num_subcarriers, num_symbols, snr_db, rng,
+                soft=False, num_rx=4):
+    order = len(decoder.constellation.points)
+    num_tx = min(4, num_rx)
+    channels = rayleigh_channels(num_subcarriers, num_rx, num_tx, rng)
+    sent = rng.integers(0, order,
+                        size=(num_symbols, num_subcarriers, num_tx))
+    clean = np.einsum("tsc,sac->tsa", decoder.constellation.points[sent],
+                      channels)
+    noise_variance = float(np.mean(
+        [noise_variance_for_snr(channels[s], snr_db)
+         for s in range(num_subcarriers)]))
+    received = clean + awgn(clean.shape, noise_variance, rng)
+    return FrameRequest(channels=channels, received=received,
+                        decoder=decoder,
+                        noise_variance=noise_variance if soft else None)
+
+
+def _reference(frame):
+    if frame.noise_variance is None:
+        return frame.decoder.decode_frame(frame.channels, frame.received)
+    return frame.decoder.decode_frame(frame.channels, frame.received,
+                                      frame.noise_variance)
+
+
+def _assert_identical(result, reference, soft):
+    if soft:
+        assert np.array_equal(result.llrs, reference.llrs)
+        assert np.array_equal(result.symbol_indices,
+                              reference.symbol_indices)
+        assert np.array_equal(result.list_sizes, reference.list_sizes)
+    else:
+        assert np.array_equal(result.found, reference.found)
+        assert np.array_equal(result.symbol_indices,
+                              reference.symbol_indices)
+        assert np.array_equal(result.distances_sq, reference.distances_sq)
+    assert result.counters == reference.counters
+
+
+# ----------------------------------------------------------------------
+# Bit-exactness sweeps
+# ----------------------------------------------------------------------
+
+def test_mixed_stream_bit_identical_to_decode_frame():
+    """One runtime, interleaved hard/soft frames across constellations,
+    stream counts and enumerators — every frame equals ``decode_frame``."""
+    rng = np.random.default_rng(1)
+    decoders = [
+        (SphereDecoder(qam(16)), False),
+        (SphereDecoder(qam(4), enumerator="shabany"), False),
+        (SphereDecoder(qam(16), enumerator="hess", geometric_pruning=False),
+         False),
+        (ListSphereDecoder(qam(4), list_size=6), True),
+        (ListSphereDecoder(qam(16), list_size=4, enumerator="shabany"),
+         True),
+    ]
+    frames = []
+    for repeat in range(2):
+        for decoder, soft in decoders:
+            frames.append(_make_frame(decoder, 5, 3, 18.0 + 2 * repeat,
+                                      rng, soft=soft))
+    runtime = UplinkRuntime(capacity=24, max_in_flight=6)
+    handles = [runtime.submit(frame) for frame in frames]
+    done = runtime.drain()
+    assert runtime.idle
+    assert len(done) == len(frames)
+    for frame, handle in zip(frames, handles):
+        _assert_identical(handle.result(), _reference(frame),
+                          frame.noise_variance is not None)
+
+
+@pytest.mark.parametrize("capacity,drain_threshold",
+                         [(3, None), (16, 0), (64, 5)])
+def test_knob_sweep_bit_identical(capacity, drain_threshold):
+    """Tiny lane pools force heavy cross-frame packing; zero drain keeps
+    everything lockstep; both stay bit-identical."""
+    rng = np.random.default_rng(2)
+    decoder = SphereDecoder(qam(16))
+    soft_decoder = ListSphereDecoder(qam(16), list_size=5)
+    frames = [_make_frame(decoder, 4, 2, 20.0, rng),
+              _make_frame(soft_decoder, 3, 3, 17.0, rng, soft=True),
+              _make_frame(decoder, 6, 2, 23.0, rng)]
+    runtime = UplinkRuntime(capacity=capacity,
+                            drain_threshold=drain_threshold,
+                            max_in_flight=len(frames))
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    for frame, handle in zip(frames, handles):
+        _assert_identical(handle.result(), _reference(frame),
+                          frame.noise_variance is not None)
+
+
+def test_node_budget_frames_stream_identically():
+    """Budget-stopped searches finish mid-stream and keep their lanes
+    recyclable; results still match the budgeted ``decode_frame``."""
+    rng = np.random.default_rng(3)
+    decoder = SphereDecoder(qam(16), node_budget=25)
+    soft_decoder = ListSphereDecoder(qam(16), list_size=8, node_budget=40)
+    frames = [_make_frame(decoder, 5, 3, 12.0, rng),
+              _make_frame(soft_decoder, 5, 2, 12.0, rng, soft=True)]
+    runtime = UplinkRuntime(capacity=8, max_in_flight=2)
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    for frame, handle in zip(frames, handles):
+        _assert_identical(handle.result(), _reference(frame),
+                          frame.noise_variance is not None)
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_admission_order_invariance(data):
+    """The ISSUE-5 property: any submission permutation and any in-flight
+    budget yields per-frame results and counters bit-identical to
+    sequential ``decode_frame``."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1),
+                                          label="seed"))
+    hard = SphereDecoder(qam(4))
+    soft = ListSphereDecoder(qam(4), list_size=4)
+    num_frames = data.draw(st.integers(2, 5), label="num_frames")
+    frames = []
+    for _ in range(num_frames):
+        is_soft = bool(rng.integers(2))
+        frames.append(_make_frame(soft if is_soft else hard,
+                                  int(rng.integers(2, 5)),
+                                  int(rng.integers(1, 4)),
+                                  float(rng.uniform(8.0, 20.0)), rng,
+                                  soft=is_soft, num_rx=3))
+    order = data.draw(st.permutations(range(num_frames)), label="order")
+    budget = data.draw(st.integers(1, num_frames), label="max_in_flight")
+    capacity = data.draw(st.integers(2, 32), label="capacity")
+    runtime = UplinkRuntime(capacity=capacity, max_in_flight=budget)
+    handles = {}
+    for index in order:
+        handles[index] = runtime.submit(frames[index])
+        # Random poll interleaving between submissions.
+        if data.draw(st.booleans(), label="poll"):
+            runtime.poll(max_ticks=data.draw(st.integers(1, 6),
+                                             label="ticks"))
+    runtime.drain()
+    for index, frame in enumerate(frames):
+        _assert_identical(handles[index].result(), _reference(frame),
+                          frame.noise_variance is not None)
+
+
+# ----------------------------------------------------------------------
+# Session semantics: backpressure, poll, handles
+# ----------------------------------------------------------------------
+
+def test_backpressure_bounds_in_flight():
+    rng = np.random.default_rng(4)
+    decoder = SphereDecoder(qam(4))
+    frames = [_make_frame(decoder, 3, 2, 15.0, rng) for _ in range(6)]
+    runtime = UplinkRuntime(capacity=4, max_in_flight=2)
+    for frame in frames:
+        runtime.submit(frame)
+        assert runtime.in_flight <= 2
+    done = runtime.drain()
+    assert len(done) == 6
+    assert runtime.idle
+    assert runtime.stats.frames_completed == 6
+
+
+def test_poll_returns_completions_incrementally():
+    rng = np.random.default_rng(5)
+    decoder = SphereDecoder(qam(4))
+    frames = [_make_frame(decoder, 3, 2, 15.0, rng) for _ in range(3)]
+    runtime = UplinkRuntime(capacity=32, max_in_flight=3)
+    handles = [runtime.submit(frame) for frame in frames]
+    collected = []
+    for _ in range(10_000):
+        collected.extend(runtime.poll())
+        if len(collected) == 3:
+            break
+    assert {handle.frame_id for handle in collected} == {
+        handle.frame_id for handle in handles}
+    assert all(handle.done and handle.latency_s >= 0.0
+               for handle in collected)
+    assert runtime.poll() == []
+
+
+def test_handle_errors_and_empty_frame():
+    rng = np.random.default_rng(6)
+    decoder = SphereDecoder(qam(4))
+    runtime = UplinkRuntime(capacity=4)
+    frame = _make_frame(decoder, 2, 2, 15.0, rng)
+    handle = runtime.submit(frame)
+    with pytest.raises(ValueError):
+        handle.result()
+    runtime.drain()
+    assert handle.result() is not None
+
+    # Degenerate frames: zero OFDM symbols complete immediately, hard
+    # and soft alike, with the same empty results ``decode_frame`` builds.
+    empty = FrameRequest(channels=frame.channels,
+                         received=frame.received[:0], decoder=decoder)
+    empty_soft = FrameRequest(channels=frame.channels,
+                              received=frame.received[:0],
+                              decoder=ListSphereDecoder(qam(4), list_size=4),
+                              noise_variance=0.1)
+    empty_handle = runtime.submit(empty)
+    empty_soft_handle = runtime.submit(empty_soft)
+    done = runtime.poll()
+    assert empty_handle in done and empty_handle.done
+    assert empty_soft_handle in done
+    assert empty_handle.result().counters.ped_calcs == 0
+    assert empty_soft_handle.result().llrs.shape == (0, 2, 8)
+
+    with pytest.raises(ValueError):
+        runtime.submit(FrameRequest(channels=frame.channels,
+                                    received=frame.received,
+                                    decoder=KBestDecoder(qam(4), k=4)))
+    with pytest.raises(ValueError):
+        # Soft frames need a noise variance.
+        runtime.submit(FrameRequest(
+            channels=frame.channels, received=frame.received,
+            decoder=ListSphereDecoder(qam(4), list_size=4)))
+    with pytest.raises(ValueError):
+        UplinkRuntime(max_in_flight=0)
+
+
+def test_admission_queue_tags_and_fifo():
+    rng = np.random.default_rng(7)
+    decoder = SphereDecoder(qam(4))
+    jobs = [FrameJob(i, _make_frame(decoder, 2, 2, 15.0, rng))
+            for i in range(2)]
+    queue = AdmissionQueue()
+    for job in jobs:
+        queue.push(job)
+    assert queue.pending == 8
+    batches = queue.take(5)
+    # Frame-FIFO across the boundary: all of frame 0, then frame 1's head.
+    assert [(job.frame_id, list(elements)) for job, elements in batches] \
+        == [(0, [0, 1, 2, 3]), (1, [0])]
+    assert queue.pending == 3
+    assert [(job.frame_id, list(elements))
+            for job, elements in queue.take(99)] == [(1, [1, 2, 3])]
+    assert queue.take(4) == []
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+
+def test_stats_report_consistency():
+    rng = np.random.default_rng(8)
+    decoder = SphereDecoder(qam(16))
+    frames = [_make_frame(decoder, 4, 3, 20.0, rng) for _ in range(4)]
+    runtime = UplinkRuntime(capacity=16, max_in_flight=2)
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    stats = runtime.stats
+    summary = stats.summary()
+    assert summary["frames_completed"] == 4
+    assert summary["searches_completed"] == 4 * 4 * 3
+    assert summary["frames_per_second"] > 0.0
+    assert 0.0 < summary["mean_lane_occupancy"] <= 1.0
+    percentiles = stats.latency_percentiles((50, 90, 99))
+    assert percentiles[50] <= percentiles[90] <= percentiles[99]
+    assert summary["visited_nodes"] == sum(
+        handle.result().counters.visited_nodes for handle in handles)
+    with pytest.raises(ValueError):
+        UplinkRuntime().stats.latency_percentiles()
+
+
+# ----------------------------------------------------------------------
+# Cell workload generator
+# ----------------------------------------------------------------------
+
+def test_cell_workload_mixes_traffic_and_streams_identically():
+    trace = synthetic_cell_trace(4, 6, 4, 4, rng=9)
+    workload = CellWorkload(trace, num_users=6, group_size=4,
+                            num_symbols=2, soft_fraction=0.4,
+                            snr_window_db=6.0, list_size=4, rng=10)
+    frames = workload.frames(12)
+    arrivals = [frame.metadata["arrival_s"] for frame in frames]
+    assert all(later > earlier
+               for earlier, later in zip(arrivals, arrivals[1:]))
+    orders = {frame.metadata["order"] for frame in frames}
+    kinds = {frame.metadata["kind"] for frame in frames}
+    assert len(orders) >= 2, "SNR span should mix constellations"
+    assert kinds == {"hard", "soft"}
+    groups = {frame.metadata["group"] for frame in frames}
+    assert len(groups) > 1, "the TDMA schedule should rotate groups"
+    stream_counts = {frame.channels.shape[2] for frame in frames}
+    assert len(stream_counts) > 1, (
+        "the SNR window should shrink some serving groups (heterogeneous "
+        "MIMO orders)")
+    assert all(frame.channels.shape[2] >= 2 for frame in frames)
+
+    runtime = UplinkRuntime(capacity=48, max_in_flight=4)
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    for frame, handle in zip(frames, handles):
+        _assert_identical(handle.result(), _reference(frame),
+                          frame.noise_variance is not None)
+
+
+def test_cell_workload_validation():
+    trace = synthetic_cell_trace(1, 2, 4, 2, rng=0)
+    with pytest.raises(ValueError):
+        CellWorkload(trace, group_size=4)          # trace too narrow
+    with pytest.raises(ValueError):
+        CellWorkload(trace, num_users=1, group_size=2)
+    with pytest.raises(ValueError):
+        CellWorkload(trace, group_size=2, soft_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# Knob plumbing through the public entry points (ISSUE-5 satellite)
+# ----------------------------------------------------------------------
+
+def test_detect_uplink_forwards_engine_knobs():
+    rng = np.random.default_rng(11)
+    decoder = SphereDecoder(qam(16))
+    frame = _make_frame(decoder, 4, 3, 20.0, rng)
+    detector = SphereDetector(decoder)
+    default = detect_uplink(frame.channels, frame.received, detector, 0.1)
+    tuned = detect_uplink(frame.channels, frame.received, detector, 0.1,
+                          capacity=3, drain_threshold=1)
+    assert np.array_equal(default.symbol_indices, tuned.symbol_indices)
+    assert default.counters == tuned.counters
+
+    with pytest.raises(ValueError):
+        detect_uplink(frame.channels, frame.received, detector, 0.1,
+                      frame_strategy="per_subcarrier", capacity=3)
+    with pytest.raises(ValueError):
+        detect_uplink(frame.channels, frame.received,
+                      SphereDetector(KBestDecoder(qam(16), k=4)), 0.1,
+                      capacity=3)
+    with pytest.raises(ValueError):
+        # Linear detectors run no frontier: clean rejection, not a
+        # TypeError from an unexpected keyword.
+        detect_uplink(frame.channels, frame.received,
+                      ZeroForcingDetector(qam(16)), 0.1, capacity=3)
+    with pytest.raises(ValueError):
+        # Loop-strategy decoders never see the knobs either — reject
+        # instead of silently dropping them.
+        detect_uplink(frame.channels, frame.received,
+                      SphereDetector(SphereDecoder(qam(16),
+                                                   batch_strategy="loop")),
+                      0.1, capacity=3)
