@@ -4,10 +4,17 @@ from .convolutional import WIFI_CODE, ConvolutionalCode
 from .crc import CRC_BITS, append_crc, check_crc, crc32_bits
 from .interleaver import deinterleave, interleave, interleaver_permutation
 from .scrambler import descramble, scramble, scrambler_sequence
-from .viterbi import viterbi_decode, viterbi_decode_soft
+from .viterbi import (
+    VITERBI_STRATEGIES,
+    viterbi_decode,
+    viterbi_decode_batch,
+    viterbi_decode_soft,
+    viterbi_decode_soft_batch,
+)
 
 __all__ = [
     "CRC_BITS",
+    "VITERBI_STRATEGIES",
     "ConvolutionalCode",
     "WIFI_CODE",
     "append_crc",
@@ -20,5 +27,7 @@ __all__ = [
     "scramble",
     "scrambler_sequence",
     "viterbi_decode",
+    "viterbi_decode_batch",
     "viterbi_decode_soft",
+    "viterbi_decode_soft_batch",
 ]

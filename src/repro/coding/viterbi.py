@@ -8,9 +8,20 @@ transition cost of expecting coded bit ``c`` against reliability ``r`` is
 ``max(0, r)`` when ``c = 1`` and ``max(0, -r)`` when ``c = 0`` — zero when
 the observation agrees, ``|r|`` when it does not.
 
-The trellis sweep is a Python loop over time steps with numpy inner
-operations over all ``2**(K-1)`` states, fast enough for frame-sized
-blocks while staying readable.
+The scalar trellis sweep is a Python loop over time steps with numpy
+inner operations over all ``2**(K-1)`` states.  The *batched* decoders
+(:func:`viterbi_decode_batch` / :func:`viterbi_decode_soft_batch`) apply
+the same batching move the detection engines use: one trellis loop
+sweeps a stacked ``(num_blocks, coded_len)`` reliability matrix, metrics
+and backpointers gain a leading block axis, and the traceback vectorises
+across blocks.  A streaming receiver holds many equal-length coded
+blocks at once (one per stream per in-flight frame), so the Python-level
+per-step cost amortises over the whole batch.  Decisions are
+**bit-identical** to the scalar sweep row by row — the elementwise
+compare/select and the tiny ``(steps, outputs) @ (outputs, patterns)``
+pattern-cost product are the same operations in the same order — and the
+scalar path stays available behind ``strategy="scalar"`` as the
+differential baseline (``tests/test_coding.py`` enforces the agreement).
 """
 
 from __future__ import annotations
@@ -20,7 +31,13 @@ import numpy as np
 from ..utils.validation import as_bit_array, require
 from .convolutional import ConvolutionalCode
 
-__all__ = ["viterbi_decode", "viterbi_decode_soft"]
+__all__ = ["VITERBI_STRATEGIES", "viterbi_decode", "viterbi_decode_batch",
+           "viterbi_decode_soft", "viterbi_decode_soft_batch"]
+
+#: Dispatch of the batched decoders: ``"batch"`` runs one trellis loop
+#: over the whole block stack; ``"scalar"`` loops the scalar decoder over
+#: rows — the differential baseline (bit-identical decisions).
+VITERBI_STRATEGIES = ("batch", "scalar")
 
 
 def _traceback(backpointers: np.ndarray, final_state: int) -> np.ndarray:
@@ -36,6 +53,42 @@ def _traceback(backpointers: np.ndarray, final_state: int) -> np.ndarray:
     return decisions
 
 
+def _trellis_tables(code: ConvolutionalCode):
+    """Predecessor indices and packed expected-output patterns.
+
+    Predecessors of state t: states ``2*(t % half)`` and ``2*(t % half) +
+    1``, reached with input bit ``t // half`` (the packed-register
+    convention).  The expected outputs of each transition pack into a
+    pattern index so the per-step branch costs become a single gather.
+    """
+    num_states = code.num_states
+    expected = code.trellis_outputs()           # (states, 2, outputs)
+    half = num_states // 2
+    targets = np.arange(num_states)
+    pred0 = (targets % half) * 2
+    pred1 = pred0 + 1
+    input_bits = (targets // half).astype(np.int64)
+    weights = 1 << np.arange(code.num_outputs)
+    pattern_from0 = (expected[pred0, input_bits, :] * weights).sum(axis=1)
+    pattern_from1 = (expected[pred1, input_bits, :] * weights).sum(axis=1)
+    return pred0, pred1, pattern_from0, pattern_from1
+
+
+def _pattern_costs(steps: np.ndarray, outputs_per_step: int) -> np.ndarray:
+    """Cost of every expected-output pattern at every step.
+
+    ``cost(c, r) = max(0, r)`` if ``c == 1`` else ``max(0, -r)``;
+    vectorised over the leading axes of ``steps`` (``(..., steps,
+    outputs)`` in, ``(..., steps, patterns)`` out).
+    """
+    num_patterns = 1 << outputs_per_step
+    pattern_bits = ((np.arange(num_patterns)[:, None]
+                     >> np.arange(outputs_per_step)) & 1).astype(np.float64)
+    positive = np.maximum(steps, 0.0)
+    negative = np.maximum(-steps, 0.0)
+    return positive @ pattern_bits.T + negative @ (1.0 - pattern_bits).T
+
+
 def _decode_reliabilities(reliabilities: np.ndarray,
                           code: ConvolutionalCode) -> np.ndarray:
     outputs_per_step = code.num_outputs
@@ -48,30 +101,9 @@ def _decode_reliabilities(reliabilities: np.ndarray,
             "coded block too short to contain any information bits")
 
     num_states = code.num_states
-    expected = code.trellis_outputs()           # (states, 2, outputs)
-    half = num_states // 2
-
-    # Predecessors of state t: states 2*(t % half) and 2*(t % half) + 1,
-    # reached with input bit t // half (the packed-register convention).
-    targets = np.arange(num_states)
-    pred0 = (targets % half) * 2
-    pred1 = pred0 + 1
-    input_bits = (targets // half).astype(np.int64)
-    # Pack the expected outputs of each transition into a pattern index so
-    # the per-step branch costs become a single gather.
-    weights = 1 << np.arange(outputs_per_step)
-    pattern_from0 = (expected[pred0, input_bits, :] * weights).sum(axis=1)
-    pattern_from1 = (expected[pred1, input_bits, :] * weights).sum(axis=1)
-
-    # cost(c, r) = max(0, r) if c == 1 else max(0, -r); precompute the cost
-    # of every output pattern at every step in one vectorised pass.
+    pred0, pred1, pattern_from0, pattern_from1 = _trellis_tables(code)
     steps = reliabilities.reshape(num_steps, outputs_per_step)
-    num_patterns = 1 << outputs_per_step
-    pattern_bits = ((np.arange(num_patterns)[:, None] >> np.arange(outputs_per_step))
-                    & 1).astype(np.float64)
-    positive = np.maximum(steps, 0.0)
-    negative = np.maximum(-steps, 0.0)
-    pattern_costs = positive @ pattern_bits.T + negative @ (1.0 - pattern_bits).T
+    pattern_costs = _pattern_costs(steps, outputs_per_step)
 
     metrics = np.full(num_states, np.inf)
     metrics[0] = 0.0                            # encoder starts in state 0
@@ -90,6 +122,74 @@ def _decode_reliabilities(reliabilities: np.ndarray,
     return decisions[: num_steps - code.num_tail_bits]
 
 
+def _decode_reliabilities_batch(reliabilities: np.ndarray,
+                                code: ConvolutionalCode) -> np.ndarray:
+    """One trellis loop over a ``(num_blocks, coded_len)`` stack.
+
+    Row for row the same adds, compares and selects as
+    :func:`_decode_reliabilities` — the block axis only widens the
+    elementwise operations — so decisions are bit-identical to the scalar
+    sweep.
+    """
+    outputs_per_step = code.num_outputs
+    require(reliabilities.ndim == 2,
+            "batched reliabilities must be (num_blocks, coded_len)")
+    num_blocks, coded_len = reliabilities.shape
+    require(coded_len % outputs_per_step == 0,
+            f"coded length {coded_len} is not a multiple of "
+            f"{outputs_per_step}")
+    num_steps = coded_len // outputs_per_step
+    require(num_steps > code.num_tail_bits,
+            "coded block too short to contain any information bits")
+
+    num_states = code.num_states
+    half = num_states // 2
+    pred0, pred1, pattern_from0, pattern_from1 = _trellis_tables(code)
+    steps = reliabilities.reshape(num_blocks, num_steps, outputs_per_step)
+    pattern_costs = _pattern_costs(steps, outputs_per_step)
+
+    metrics = np.full((num_blocks, num_states), np.inf)
+    metrics[:, 0] = 0.0                         # every encoder starts at 0
+    backpointers = np.empty((num_steps, num_blocks, num_states),
+                            dtype=np.uint8)
+
+    for step in range(num_steps):
+        costs = pattern_costs[:, step, :]            # (B, patterns)
+        candidate0 = metrics[:, pred0] + costs[:, pattern_from0]
+        candidate1 = metrics[:, pred1] + costs[:, pattern_from1]
+        take1 = candidate1 < candidate0
+        metrics = np.where(take1, candidate1, candidate0)
+        backpointers[step] = take1
+
+    # Vectorised traceback: every block walks its own survivor chain
+    # backwards from the terminated state 0 in lockstep.
+    rows = np.arange(num_blocks)
+    state = np.zeros(num_blocks, dtype=np.int64)
+    decisions = np.empty((num_blocks, num_steps), dtype=np.uint8)
+    for step in range(num_steps - 1, -1, -1):
+        decisions[:, step] = state // half
+        state = (state % half) * 2 + backpointers[step, rows, state]
+    return decisions[:, : num_steps - code.num_tail_bits]
+
+
+def _require_finite(array: np.ndarray) -> None:
+    """Reject non-finite reliabilities, naming the offending position.
+
+    The soft demappers (:mod:`repro.detect.llr`,
+    :mod:`repro.sphere.soft`) clamp LLRs to a finite range, so a
+    non-finite value reaching the trellis means a broken producer — the
+    error names where so the offender is findable.
+    """
+    finite = np.isfinite(array)
+    if not finite.all():
+        offender = np.unravel_index(int(np.flatnonzero(~finite)[0]),
+                                    array.shape)
+        where = int(offender[0]) if array.ndim == 1 else tuple(
+            int(i) for i in offender)
+        require(False, f"reliabilities must be finite; index {where} is "
+                f"{array[offender]}")
+
+
 def viterbi_decode(coded_bits, code: ConvolutionalCode) -> np.ndarray:
     """Hard-decision maximum-likelihood sequence decoding.
 
@@ -104,5 +204,45 @@ def viterbi_decode(coded_bits, code: ConvolutionalCode) -> np.ndarray:
 def viterbi_decode_soft(reliabilities, code: ConvolutionalCode) -> np.ndarray:
     """Soft-decision decoding from per-bit reliabilities (positive => 0)."""
     array = np.asarray(reliabilities, dtype=np.float64)
-    require(bool(np.isfinite(array).all()), "reliabilities must be finite")
+    _require_finite(array)
     return _decode_reliabilities(array, code)
+
+
+def viterbi_decode_soft_batch(reliabilities, code: ConvolutionalCode,
+                              strategy: str = "batch") -> np.ndarray:
+    """Soft-decision decoding of a stacked ``(num_blocks, coded_len)``
+    reliability matrix in one trellis sweep.
+
+    Returns the ``(num_blocks, num_info_bits)`` information bits.
+    ``strategy="batch"`` (default) runs the single batched trellis loop;
+    ``strategy="scalar"`` loops :func:`viterbi_decode_soft` over rows —
+    the differential baseline.  Decisions are bit-identical either way.
+    """
+    require(strategy in VITERBI_STRATEGIES,
+            f"unknown Viterbi strategy {strategy!r}; choose from "
+            f"{VITERBI_STRATEGIES}")
+    array = np.asarray(reliabilities, dtype=np.float64)
+    require(array.ndim == 2,
+            "batched reliabilities must be (num_blocks, coded_len)")
+    _require_finite(array)
+    if array.shape[0] == 0:
+        num_steps = array.shape[1] // code.num_outputs
+        return np.empty((0, max(num_steps - code.num_tail_bits, 0)),
+                        dtype=np.uint8)
+    if strategy == "scalar":
+        return np.stack([_decode_reliabilities(row, code) for row in array])
+    return _decode_reliabilities_batch(array, code)
+
+
+def viterbi_decode_batch(coded_bits, code: ConvolutionalCode,
+                         strategy: str = "batch") -> np.ndarray:
+    """Hard-decision decoding of stacked ``(num_blocks, coded_len)``
+    coded blocks in one trellis sweep (the batched twin of
+    :func:`viterbi_decode`)."""
+    array = np.asarray(coded_bits)
+    require(array.ndim == 2,
+            "batched coded bits must be (num_blocks, coded_len)")
+    flat = as_bit_array(array.reshape(-1), "coded bits")
+    reliabilities = 1.0 - 2.0 * flat.astype(np.float64)
+    return viterbi_decode_soft_batch(
+        reliabilities.reshape(array.shape), code, strategy)

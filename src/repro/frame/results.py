@@ -69,6 +69,12 @@ class FrameDecodeResult:
     counters:
         Complexity tallies aggregated over the whole frame; equal to the
         sum of per-slot scalar counters exactly.
+    decisions:
+        Per-stream :class:`~repro.phy.receiver.StreamDecision` payloads
+        (decoded bits + CRC verdicts), filled in by the streaming
+        runtime's decode stage when the frame carried a
+        :class:`~repro.phy.config.PhyConfig`; ``None`` for
+        detection-only results.
     """
 
     found: np.ndarray
@@ -76,6 +82,7 @@ class FrameDecodeResult:
     symbols: np.ndarray
     distances_sq: np.ndarray
     counters: ComplexityCounters
+    decisions: list | None = None
 
     @property
     def num_symbols(self) -> int:
@@ -140,6 +147,12 @@ class SoftFrameResult:
     counters:
         Complexity tallies aggregated over the whole frame; equal to the
         sum of per-slot scalar ``decode_soft`` counters exactly.
+    decisions:
+        Per-stream :class:`~repro.phy.receiver.StreamDecision` payloads
+        (decoded bits + CRC verdicts), filled in by the streaming
+        runtime's decode stage when the frame carried a
+        :class:`~repro.phy.config.PhyConfig`; ``None`` for
+        detection-only results.
     """
 
     llrs: np.ndarray
@@ -147,6 +160,7 @@ class SoftFrameResult:
     symbols: np.ndarray
     list_sizes: np.ndarray
     counters: ComplexityCounters
+    decisions: list | None = None
 
     @property
     def num_symbols(self) -> int:

@@ -20,6 +20,7 @@ from .receiver import (
     recover_stream,
     recover_stream_soft,
     recover_uplink,
+    recover_uplink_soft,
 )
 from .soft_link import SoftFrameOutcome, simulate_frame_soft
 from .throughput import frame_airtime_s, net_throughput_bps, phy_rate_bps
@@ -56,6 +57,7 @@ __all__ = [
     "recover_stream",
     "recover_stream_soft",
     "recover_uplink",
+    "recover_uplink_soft",
     "simulate_frame",
     "trace_source",
 ]

@@ -34,7 +34,7 @@ from ..utils.rng import as_generator
 from ..utils.validation import require
 from .config import PhyConfig
 from .link import _noise_variance, _normalise_channels
-from .receiver import FRAME_STRATEGIES, StreamDecision, recover_stream_soft
+from .receiver import FRAME_STRATEGIES, recover_uplink_soft
 from .transmitter import build_uplink_frame, random_payloads
 
 __all__ = ["SoftFrameOutcome", "simulate_frame_soft"]
@@ -93,7 +93,6 @@ def simulate_frame_soft(channels, decoder: ListSphereDecoder,
     frame = build_uplink_frame(payloads, config)
     tensor = frame.symbol_tensor                       # (T, S, nc)
     num_symbols = tensor.shape[0]
-    bits_per_symbol = config.bits_per_symbol
 
     noise_variance = _noise_variance(matrices, snr_db)
     received = np.empty((num_symbols, num_subcarriers, num_antennas),
@@ -115,17 +114,11 @@ def simulate_frame_soft(channels, decoder: ListSphereDecoder,
         detection = frame_decode_soft_scalar(decoder, r_stack, y_hat,
                                              noise_variance)
     # llrs[t, s, c*Q:(c+1)*Q] = stream c's bit reliabilities at (t, s).
-    llrs = detection.llrs
     totals = detection.counters
     detections = detection.detections
 
-    decisions: list[StreamDecision] = []
-    for client in range(num_clients):
-        sliced = llrs[:, :, client * bits_per_symbol:
-                      (client + 1) * bits_per_symbol]
-        stream_llrs = sliced.reshape(-1)
-        decisions.append(recover_stream_soft(
-            stream_llrs, frame.streams[0].num_pad_bits, config))
+    decisions = recover_uplink_soft(detection.llrs,
+                                    frame.streams[0].num_pad_bits, config)
     success = np.array([decision.crc_ok for decision in decisions])
     return SoftFrameOutcome(stream_success=success,
                             num_ofdm_symbols=num_symbols,

@@ -9,12 +9,17 @@ refills freed lanes from *any* admitted frame, so consecutive frames
 pipeline through the shared lane pool with per-frame results bit-identical
 to standalone ``decode_frame``.  :mod:`~repro.runtime.session` is the
 submit/poll/drain API with bounded-in-flight backpressure,
-:mod:`~repro.runtime.cell` generates heterogeneous multi-user cell
-traffic to drive it, and :mod:`~repro.runtime.stats` reports sustained
-frames/sec, latency percentiles and lane occupancy.
+:mod:`~repro.runtime.decode` extends the pipeline past detection —
+frames submitted with a :class:`~repro.phy.config.PhyConfig` run the
+coded chain (deinterleave -> frame-batched Viterbi -> CRC) and resolve
+with decoded payload bits per stream — :mod:`~repro.runtime.cell`
+generates heterogeneous multi-user cell traffic to drive it, and
+:mod:`~repro.runtime.stats` reports sustained frames/sec, CRC-passing
+goodput, latency percentiles and lane occupancy.
 """
 
 from .cell import CellWorkload, synthetic_cell_trace
+from .decode import DecodeStage
 from .engine import StreamingFrontier
 from .queue import AdmissionQueue, FrameJob, FrameRequest
 from .session import DEFAULT_MAX_IN_FLIGHT, PendingFrame, UplinkRuntime
@@ -24,6 +29,7 @@ __all__ = [
     "AdmissionQueue",
     "CellWorkload",
     "DEFAULT_MAX_IN_FLIGHT",
+    "DecodeStage",
     "FrameJob",
     "FrameRequest",
     "PendingFrame",

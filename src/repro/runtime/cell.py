@@ -32,14 +32,37 @@ from ..channel.trace import ChannelTrace
 from ..constellation import qam
 from ..mac.scheduler import round_robin_groups
 from ..mac.selection import select_users_in_snr_range
+from ..ofdm.params import OfdmParams
+from ..phy.config import PhyConfig
 from ..phy.rate_adaptation import ThresholdRateAdapter
+from ..phy.transmitter import build_uplink_frame, random_payloads
 from ..sphere.decoder import SphereDecoder
 from ..sphere.soft import ListSphereDecoder
 from ..utils.rng import as_generator
 from ..utils.validation import require
 from .queue import FrameRequest
 
-__all__ = ["CellWorkload", "synthetic_cell_trace"]
+__all__ = ["CellWorkload", "ofdm_for_subcarriers", "synthetic_cell_trace"]
+
+
+def ofdm_for_subcarriers(num_data_subcarriers: int) -> OfdmParams:
+    """An OFDM numerology with exactly ``num_data_subcarriers`` data bins.
+
+    Channel traces carry whatever subcarrier count they were measured
+    (or synthesised) at; coded traffic needs a
+    :class:`~repro.phy.config.PhyConfig` whose numerology matches, so
+    this picks the smallest power-of-two FFT that fits and fills the
+    usable band (no pilots — the runtime detects on data bins only).
+    """
+    require(num_data_subcarriers >= 1, "need at least one data subcarrier")
+    fft_size = 8
+    while fft_size - 2 < num_data_subcarriers:
+        fft_size *= 2
+    half = fft_size // 2
+    usable = [k for k in range(-half + 1, half) if k != 0]
+    indices = tuple(usable[:num_data_subcarriers])
+    return OfdmParams(fft_size=fft_size, cp_length=fft_size // 4,
+                      data_subcarriers=indices, pilot_subcarriers=())
 
 
 def synthetic_cell_trace(num_links: int, num_subcarriers: int,
@@ -100,6 +123,19 @@ class CellWorkload:
         are hard maximum-likelihood frames.
     list_size:
         List size for the soft frames' decoders.
+    coded:
+        When ``True``, every frame carries *real coded traffic*: random
+        payloads run the transmit chain (CRC -> scramble -> rate-1/2
+        FEC -> pad -> interleave -> QAM) and the generated
+        :class:`~repro.runtime.queue.FrameRequest` carries the matching
+        :class:`~repro.phy.config.PhyConfig` and pad count, so the
+        runtime decodes bits and reports CRC-passing goodput.  The frame
+        length then follows from ``payload_bits`` (``num_symbols`` is
+        ignored), and the trace's subcarrier count must make the
+        interleaver block a multiple of 16 bits at every modulation the
+        adapter can pick (subcarriers divisible by 8 is sufficient).
+    payload_bits:
+        Information bits per stream per frame in coded mode.
     """
 
     def __init__(self, trace: ChannelTrace, *, num_users: int = 8,
@@ -110,6 +146,7 @@ class CellWorkload:
                  snr_memory: float = 0.9, snr_sigma_db: float = 1.0,
                  snr_window_db: float | None = None,
                  soft_fraction: float = 0.0, list_size: int = 16,
+                 coded: bool = False, payload_bits: int = 184,
                  rng=None) -> None:
         require(trace.num_clients >= group_size,
                 f"trace carries {trace.num_clients} clients, cannot serve "
@@ -119,6 +156,15 @@ class CellWorkload:
         require(0.0 <= soft_fraction <= 1.0,
                 "soft_fraction must be in [0, 1]")
         require(arrival_rate_hz > 0.0, "arrival rate must be positive")
+        require(not coded or trace.num_subcarriers % 8 == 0,
+                f"coded traffic needs a subcarrier count divisible by 8 "
+                f"(the 802.11 interleaver works in multiples of 16 bits), "
+                f"trace has {trace.num_subcarriers}")
+        self.coded = coded
+        self.payload_bits = payload_bits
+        self._ofdm = (ofdm_for_subcarriers(trace.num_subcarriers)
+                      if coded else None)
+        self._configs: dict[int, PhyConfig] = {}
         self.trace = trace
         self.group_size = group_size
         self.num_symbols = num_symbols
@@ -138,6 +184,15 @@ class CellWorkload:
         self._decoders: dict[tuple, object] = {}
         self._slot = 0
         self._clock_s = 0.0
+
+    # -- config cache: one per modulation (coded mode) ------------------
+    def _config(self, order: int) -> PhyConfig:
+        config = self._configs.get(order)
+        if config is None:
+            config = PhyConfig(constellation=qam(order), ofdm=self._ofdm,
+                               payload_bits=self.payload_bits)
+            self._configs[order] = config
+        return config
 
     # -- decoder cache: one per (kind, modulation) ----------------------
     def _decoder(self, kind: str, order: int):
@@ -198,11 +253,33 @@ class CellWorkload:
         link = int(rng.integers(self.trace.num_links))
         channels = self.trace.matrices[link][:, :, :num_streams]
         num_subcarriers = channels.shape[0]
-        sent = rng.integers(0, order, size=(self.num_symbols,
-                                            num_subcarriers,
-                                            num_streams))
-        clean = np.einsum("tsc,sac->tsa", constellation.points[sent],
-                          channels)
+        metadata = {
+            "arrival_s": self._clock_s,
+            "group": group,
+            "snr_db": frame_snr_db,
+            "order": order,
+            "kind": "soft" if soft else "hard",
+        }
+        config = None
+        num_pad_bits = 0
+        if self.coded:
+            # Real coded traffic: payloads through the transmit chain;
+            # the frame length follows from the coded payload size.
+            config = self._config(order)
+            payloads = random_payloads(num_streams, config, rng)
+            uplink = build_uplink_frame(payloads, config)
+            symbols = uplink.symbol_tensor              # (T, S, nc)
+            num_pad_bits = uplink.streams[0].num_pad_bits
+            sent = np.stack([stream.symbol_indices.reshape(
+                -1, num_subcarriers) for stream in uplink.streams], axis=2)
+            metadata["payloads"] = payloads
+        else:
+            sent = rng.integers(0, order, size=(self.num_symbols,
+                                                num_subcarriers,
+                                                num_streams))
+            symbols = constellation.points[sent]
+        metadata["sent_indices"] = sent
+        clean = np.einsum("tsc,sac->tsa", symbols, channels)
         noise_variance = float(np.mean(
             [noise_variance_for_snr(channels[s], frame_snr_db)
              for s in range(num_subcarriers)]))
@@ -210,14 +287,7 @@ class CellWorkload:
         return FrameRequest(
             channels=channels, received=received, decoder=decoder,
             noise_variance=noise_variance if soft else None,
-            metadata={
-                "arrival_s": self._clock_s,
-                "group": group,
-                "snr_db": frame_snr_db,
-                "order": order,
-                "kind": "soft" if soft else "hard",
-                "sent_indices": sent,
-            })
+            config=config, num_pad_bits=num_pad_bits, metadata=metadata)
 
     def frames(self, count: int) -> list[FrameRequest]:
         """The next ``count`` arrivals as a list."""

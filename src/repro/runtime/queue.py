@@ -35,6 +35,7 @@ from ..frame.results import (
     empty_soft_frame_result,
     sum_tally_counters,
 )
+from ..phy.config import PhyConfig
 from ..sphere.counters import ComplexityCounters
 from ..sphere.soft import soft_outputs_from_lists
 from ..utils.validation import require
@@ -60,6 +61,17 @@ class FrameRequest:
     noise_variance:
         Post-detection noise power; required for soft decoders (the LLR
         scale), ignored for hard ones.
+    config:
+        Optional :class:`~repro.phy.config.PhyConfig`.  When set, the
+        runtime extends the pipeline past detection: the frame's streams
+        run through the coded chain (deinterleave -> Viterbi -> CRC) and
+        the completed result carries per-stream
+        :class:`~repro.phy.receiver.StreamDecision` payloads — what a
+        real AP delivers.  ``None`` keeps the detection-only behaviour.
+    num_pad_bits:
+        Tail padding the transmitter added per stream (see
+        :attr:`repro.phy.transmitter.StreamFrame.num_pad_bits`); only
+        meaningful with a ``config``.
     metadata:
         Free-form tags (user ids, arrival time, chosen modulation...)
         carried through to the pending handle untouched.
@@ -69,6 +81,8 @@ class FrameRequest:
     received: np.ndarray
     decoder: object
     noise_variance: float | None = None
+    config: PhyConfig | None = None
+    num_pad_bits: int = 0
     metadata: dict = field(default_factory=dict)
 
 
@@ -113,6 +127,8 @@ class FrameJob:
         self.decoder = decoder
         self.noise_variance = request.noise_variance
         self.metadata = request.metadata
+        self.config = request.config
+        self.num_pad_bits = request.num_pad_bits
 
         q_stack, r_stack = triangularize_frame(channels)
         y_hat = rotate_frame(q_stack, received)          # (S, T, nc)
@@ -128,6 +144,24 @@ class FrameJob:
         self.num_streams = num_streams
         self.num_problems = num_subcarriers * num_symbols
         self.remaining = self.num_problems
+
+        if self.config is not None:
+            config = self.config
+            require(config.constellation is decoder.constellation,
+                    "coded decoding needs the decoder and the PhyConfig to "
+                    "share the constellation")
+            if kind == "soft":
+                require(config.code is not None,
+                        "soft frames with a config need a convolutional code "
+                        "(soft recovery has no uncoded mode)")
+            if self.num_problems:
+                stream_bits = self.num_problems * config.bits_per_symbol
+                require(stream_bits % config.coded_bits_per_ofdm_symbol == 0,
+                        f"frame carries {stream_bits} coded bits per stream "
+                        "— not a whole number of OFDM symbols for the config")
+                require(0 <= self.num_pad_bits < stream_bits,
+                        f"num_pad_bits must be in [0, {stream_bits}), got "
+                        f"{self.num_pad_bits}")
 
         # Element e = subcarrier * T + symbol, the frame engine's layout.
         count = self.num_problems

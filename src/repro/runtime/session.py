@@ -11,9 +11,19 @@ budget: when the cell offers more load than the engine clears,
 completes and its budget slot frees — arrival rate degrades gracefully to
 service rate instead of queue state growing without bound.
 
+Frames submitted with a :class:`~repro.phy.config.PhyConfig` continue
+past detection through the coded chain: every frame completing a tick
+contributes its streams' coded blocks to one frame-batched Viterbi sweep
+(:mod:`~repro.runtime.decode`), and the resolved result carries decoded
+payload bits plus per-stream CRC verdicts — the runtime delivers what a
+real AP delivers, and :class:`~repro.runtime.stats.RuntimeStats` reports
+CRC-passing goodput.
+
 Per-frame results are **bit-identical** to standalone
 ``SphereDecoder.decode_frame`` / ``ListSphereDecoder.decode_frame``
-(results, LLRs, counters) for every admission order and interleaving —
+(results, LLRs, counters) for every admission order and interleaving,
+and decoded decisions are bit-identical to standalone
+``recover_uplink`` / ``recover_uplink_soft`` on the same detections —
 the runtime contract ``tests/test_runtime.py`` enforces.
 """
 
@@ -22,6 +32,7 @@ from __future__ import annotations
 import time
 
 from ..utils.validation import require
+from .decode import DecodeStage
 from .engine import StreamingFrontier
 from .queue import FrameJob, FrameRequest
 from .stats import RuntimeStats
@@ -41,7 +52,12 @@ class PendingFrame:
     Resolves when the runtime finishes the frame's last search;
     :meth:`result` then returns exactly what standalone ``decode_frame``
     would have (a :class:`~repro.frame.results.FrameDecodeResult` or
-    :class:`~repro.frame.results.SoftFrameResult`).
+    :class:`~repro.frame.results.SoftFrameResult`).  Frames submitted
+    with a :class:`~repro.phy.config.PhyConfig` additionally resolve
+    with ``result().decisions`` — one
+    :class:`~repro.phy.receiver.StreamDecision` (payload bits + CRC
+    verdict) per stream, bit-identical to standalone
+    ``recover_uplink`` / ``recover_uplink_soft``.
     """
 
     def __init__(self, frame_id: int, kind: str, metadata: dict,
@@ -82,15 +98,23 @@ class UplinkRuntime:
     max_in_flight:
         In-flight frame budget (backpressure): ``submit`` blocks — by
         running the tick loop — while this many frames are unfinished.
+    viterbi_strategy:
+        Trellis dispatch of the coded decode stage (frames submitted
+        with a ``config``): ``"batch"`` (default) sweeps one trellis
+        loop over every stream of every frame completing a tick;
+        ``"scalar"`` is the block-by-block differential baseline.
+        Decisions are bit-identical either way.
     """
 
     def __init__(self, *, capacity: int | None = None,
                  drain_threshold: int | None = None,
                  max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+                 viterbi_strategy: str = "batch",
                  clock=time.perf_counter) -> None:
         require(max_in_flight >= 1, "need an in-flight budget of at least 1")
         self._engine = StreamingFrontier(capacity=capacity,
                                          drain_threshold=drain_threshold)
+        self._decode = DecodeStage(viterbi_strategy)
         self.max_in_flight = max_in_flight
         self.stats = RuntimeStats()
         self._clock = clock
@@ -116,18 +140,24 @@ class UplinkRuntime:
     def _tick(self) -> list[PendingFrame]:
         finished = self._engine.tick()
         self.stats.record_tick(self._engine.occupancy())
-        newly_done = []
-        for job in finished:
-            newly_done.append(self._complete(job))
-        return newly_done
+        return self._complete_all(finished)
 
-    def _complete(self, job: FrameJob) -> PendingFrame:
+    def _complete_all(self, jobs: list[FrameJob]) -> list[PendingFrame]:
+        """Finalise detections, then decode every configured frame's
+        streams in one frame-batched trellis sweep before resolving the
+        handles — frames completing the same tick share the sweep."""
+        completed = [(job, job.finalise()) for job in jobs]
+        self._decode.attach_decisions(completed)
+        return [self._complete(job, result) for job, result in completed]
+
+    def _complete(self, job: FrameJob, result) -> PendingFrame:
         handle = self._handles.pop(job.frame_id)
-        handle._result = job.finalise()
+        handle._result = result
         handle.completed_at = self._clock()
         self.stats.record_complete(handle.completed_at, handle.latency_s,
-                                   job.num_problems,
-                                   handle._result.counters)
+                                   job.num_problems, result.counters)
+        if result.decisions is not None:
+            self.stats.record_decisions(result.decisions)
         return handle
 
     # -- public API -----------------------------------------------------
@@ -156,8 +186,8 @@ class UplinkRuntime:
         if job.num_problems == 0:
             # Degenerate frame (no subcarriers or no symbols): complete
             # immediately with the same empty result ``decode_frame``
-            # builds.
-            self._completed_backlog.append(self._complete(job))
+            # builds (nothing to decode, so no decisions either).
+            self._completed_backlog.extend(self._complete_all([job]))
         else:
             self._engine.submit(job)
         return handle

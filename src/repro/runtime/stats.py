@@ -6,9 +6,12 @@ it: frames per second over the busy interval, per-frame latency
 percentiles (tail latency is where straggler searches show up), lane
 occupancy (how full the lockstep frontier actually runs — the quantity
 multi-frame pipelining exists to raise), and the visited-node/PED totals
-that tie wall-clock back to the paper's complexity metrics.  The session
-layer feeds one sample per tick and one record per frame; everything here
-is cheap enough to leave on permanently.
+that tie wall-clock back to the paper's complexity metrics.  Frames that
+run the coded chain additionally feed goodput accounting: payload bits
+over CRC-passing streams per second and the CRC failure rate — the
+headline numbers deployed-network evaluations actually report.  The
+session layer feeds one sample per tick and one record per frame;
+everything here is cheap enough to leave on permanently.
 """
 
 from __future__ import annotations
@@ -43,6 +46,9 @@ class RuntimeStats:
         self.frames_submitted = 0
         self.frames_completed = 0
         self.searches_completed = 0
+        self.streams_decoded = 0
+        self.streams_crc_ok = 0
+        self.payload_bits_ok = 0
         self.ticks = 0
         self.counters = ComplexityCounters()
         self._latencies: deque[float] = deque(maxlen=latency_window)
@@ -68,6 +74,18 @@ class RuntimeStats:
         self._last_complete = now
         self.counters.merge(counters)
 
+    def record_decisions(self, decisions) -> None:
+        """Tally one decoded frame's per-stream CRC verdicts.
+
+        Goodput counts payload bits over CRC-*passing* streams only —
+        a frame the check sequence rejects delivered nothing.
+        """
+        for decision in decisions:
+            self.streams_decoded += 1
+            if decision.crc_ok:
+                self.streams_crc_ok += 1
+                self.payload_bits_ok += int(decision.payload_bits.size)
+
     # -- derived metrics ------------------------------------------------
     @property
     def elapsed_s(self) -> float:
@@ -76,10 +94,32 @@ class RuntimeStats:
             return 0.0
         return self._last_complete - self._first_submit
 
+    def _rate(self, count: int) -> float:
+        """``count`` events over the busy interval, with well-defined
+        degenerate cases: zero events is 0.0, and a positive count over
+        a zero-width interval (a single frame completing faster than the
+        clock resolves) is ``inf`` — never an understating 0.0."""
+        if count == 0:
+            return 0.0
+        elapsed = self.elapsed_s
+        return count / elapsed if elapsed > 0.0 else float("inf")
+
     def frames_per_second(self) -> float:
         """Sustained completion rate over the busy interval."""
-        elapsed = self.elapsed_s
-        return self.frames_completed / elapsed if elapsed > 0.0 else 0.0
+        return self._rate(self.frames_completed)
+
+    def goodput_bps(self) -> float:
+        """Payload bits per second over CRC-passing streams — the
+        delivered-throughput number a deployed-network evaluation
+        reports (degenerate cases as in :meth:`frames_per_second`)."""
+        return self._rate(self.payload_bits_ok)
+
+    def crc_failure_rate(self) -> float:
+        """Fraction of decoded streams whose frame check sequence
+        failed; 0.0 before any stream has been decoded."""
+        if self.streams_decoded == 0:
+            return 0.0
+        return 1.0 - self.streams_crc_ok / self.streams_decoded
 
     def latency_percentiles(self, percentiles=(50, 90, 99)) -> dict[int, float]:
         """Per-frame submit-to-completion latency percentiles (seconds),
@@ -106,6 +146,9 @@ class RuntimeStats:
             "mean_lane_occupancy": self.mean_lane_occupancy(),
             "visited_nodes": self.counters.visited_nodes,
             "ped_calcs": self.counters.ped_calcs,
+            "streams_decoded": self.streams_decoded,
+            "crc_failure_rate": self.crc_failure_rate(),
+            "goodput_bits_per_second": self.goodput_bps(),
         }
         if self._latencies:
             report["latency_percentiles_s"] = self.latency_percentiles()

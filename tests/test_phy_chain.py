@@ -11,8 +11,11 @@ from repro.phy import (
     phy_rate_bps,
     random_payloads,
     recover_stream,
+    recover_stream_soft,
     recover_uplink,
+    recover_uplink_soft,
 )
+from repro.sphere.soft import ListSphereDecoder
 
 
 class TestTransmitChain:
@@ -112,6 +115,114 @@ class TestLoopback:
         decision = recover_stream(indices, frame.num_pad_bits, config)
         assert decision.crc_ok
         assert (decision.payload_bits == payload).all()
+
+
+class TestPadHardening:
+    """``num_pad_bits`` out of range must fail loudly at the strip, not
+    as a confusing Viterbi length error three calls later."""
+
+    def _frame(self):
+        config = default_config(order=16, payload_bits=400)
+        payload = random_payloads(1, config, rng=20)[0]
+        return encode_stream(payload, config), config
+
+    @pytest.mark.parametrize("offset", [0, 1, 7])
+    def test_hard_path_rejects_pad_at_or_past_block_size(self, offset):
+        frame, config = self._frame()
+        indices = frame.symbol_indices.reshape(frame.grid.shape)
+        total = frame.coded_bits.size
+        with pytest.raises(ValueError, match="num_pad_bits"):
+            recover_stream(indices, total + offset, config)
+
+    def test_hard_path_rejects_negative_pad(self):
+        frame, config = self._frame()
+        indices = frame.symbol_indices.reshape(frame.grid.shape)
+        with pytest.raises(ValueError, match="num_pad_bits"):
+            recover_stream(indices, -1, config)
+
+    def test_soft_path_enforces_the_same_bound(self):
+        frame, config = self._frame()
+        reliabilities = 1.0 - 2.0 * frame.coded_bits.astype(float)
+        for bad in (-3, frame.coded_bits.size):
+            with pytest.raises(ValueError, match="num_pad_bits"):
+                recover_stream_soft(reliabilities, bad, config)
+
+    def test_error_names_both_block_size_and_offender(self):
+        frame, config = self._frame()
+        indices = frame.symbol_indices.reshape(frame.grid.shape)
+        total = frame.coded_bits.size
+        with pytest.raises(ValueError,
+                           match=rf"\[0, {total}\).*{total + 5} pad bits"):
+            recover_stream(indices, total + 5, config)
+
+    def test_large_legal_pad_still_reaches_the_decoder(self):
+        """An in-range pad that strips everything but the tail must fail
+        with the trellis' too-short error, not the bounds error."""
+        frame, config = self._frame()
+        indices = frame.symbol_indices.reshape(frame.grid.shape)
+        tail_only = frame.coded_bits.size - 2 * config.code.num_tail_bits
+        with pytest.raises(ValueError, match="too short"):
+            recover_stream(indices, tail_only, config)
+
+
+class TestSoftRecovery:
+    """The clamp contract round trip: demapper LLRs — including values
+    pinned to the ±clamp boundary — recover the payload through
+    ``recover_stream_soft`` / ``recover_uplink_soft``."""
+
+    @pytest.mark.parametrize("clamp", [24.0, 6.0, 0.5])
+    def test_boundary_clamped_llrs_roundtrip(self, clamp):
+        """Saturated demapper output: every reliability sits exactly on
+        the ±clamp boundary (the most information a clamping producer
+        can emit), and the payload still round-trips."""
+        config = default_config(order=16, payload_bits=320)
+        payload = random_payloads(1, config, rng=21)[0]
+        frame = encode_stream(payload, config)
+        llrs = np.clip((1.0 - 2.0 * frame.coded_bits.astype(float)) * 1e9,
+                       -clamp, clamp)
+        assert set(np.unique(llrs)) == {-clamp, clamp}
+        decision = recover_stream_soft(llrs, frame.num_pad_bits, config)
+        assert decision.crc_ok
+        assert (decision.payload_bits == payload).all()
+
+    def test_list_decoder_llrs_roundtrip_with_clamp(self):
+        """End to end: list-sphere LLRs through an identity channel obey
+        the clamp (saturating at ±clamp for unanimous bits) and decode
+        every stream's payload via ``recover_uplink_soft``."""
+        clamp = 8.0
+        config = default_config(order=4, payload_bits=100)
+        payloads = random_payloads(2, config, rng=22)
+        uplink = build_uplink_frame(payloads, config)
+        decoder = ListSphereDecoder(config.constellation, list_size=4,
+                                    clamp=clamp)
+        num_subcarriers = uplink.streams[0].grid.shape[1]
+        channels = np.broadcast_to(
+            np.eye(2, dtype=np.complex128),
+            (num_subcarriers, 2, 2)).copy()
+        received = uplink.symbol_tensor  # identity channel, no noise
+        result = decoder.decode_frame(channels, received, 1e-3)
+        assert np.abs(result.llrs).max() <= clamp
+        assert np.isclose(np.abs(result.llrs), clamp).any()
+        decisions = recover_uplink_soft(
+            result.llrs, uplink.streams[0].num_pad_bits, config)
+        assert len(decisions) == 2
+        for payload, decision in zip(payloads, decisions):
+            assert decision.crc_ok
+            assert (decision.payload_bits == payload).all()
+
+    def test_soft_recovery_requires_a_code(self):
+        config = default_config(order=4, payload_bits=96, coded=False)
+        frame = encode_stream(random_payloads(1, config, rng=23)[0], config)
+        llrs = 1.0 - 2.0 * frame.coded_bits.astype(float)
+        with pytest.raises(ValueError, match="convolutional code"):
+            recover_stream_soft(llrs, frame.num_pad_bits, config)
+
+    def test_recover_uplink_soft_validates_shape(self):
+        config = default_config(order=16, payload_bits=200)
+        with pytest.raises(ValueError, match="symbols, subcarriers"):
+            recover_uplink_soft(np.zeros((3, 48)), 0, config)
+        with pytest.raises(ValueError, match="not a multiple"):
+            recover_uplink_soft(np.zeros((3, 48, 7)), 0, config)
 
 
 class TestRates:

@@ -15,7 +15,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.channel import awgn, noise_variance_for_snr, rayleigh_channels
+from repro.coding import VITERBI_STRATEGIES, WIFI_CODE
 from repro.constellation import qam
+from repro.phy import (
+    PhyConfig,
+    build_uplink_frame,
+    random_payloads,
+    recover_uplink,
+    recover_uplink_soft,
+)
 from repro.phy.receiver import detect_uplink
 from repro.detect import SphereDetector, ZeroForcingDetector
 from repro.runtime import (
@@ -23,9 +31,11 @@ from repro.runtime import (
     CellWorkload,
     FrameJob,
     FrameRequest,
+    RuntimeStats,
     UplinkRuntime,
     synthetic_cell_trace,
 )
+from repro.runtime.cell import ofdm_for_subcarriers
 from repro.sphere import KBestDecoder, ListSphereDecoder, SphereDecoder
 
 
@@ -45,6 +55,54 @@ def _make_frame(decoder, num_subcarriers, num_symbols, snr_db, rng,
     return FrameRequest(channels=channels, received=received,
                         decoder=decoder,
                         noise_variance=noise_variance if soft else None)
+
+
+def _coded_config(order, payload_bits=120, num_subcarriers=8, coded=True):
+    """A small coded PhyConfig whose numerology matches the test traces
+    (8 data subcarriers keeps the interleaver block a multiple of 16)."""
+    return PhyConfig(constellation=qam(order),
+                     code=WIFI_CODE if coded else None,
+                     ofdm=ofdm_for_subcarriers(num_subcarriers),
+                     payload_bits=payload_bits)
+
+
+def _make_coded_frame(config, decoder, snr_db, rng, soft=False, num_rx=4,
+                      num_clients=2):
+    """Real coded traffic over a Rayleigh channel: payloads through the
+    transmit chain, then a FrameRequest carrying the config and pad
+    count so the runtime decodes bits."""
+    payloads = random_payloads(num_clients, config, rng)
+    uplink = build_uplink_frame(payloads, config)
+    symbols = uplink.symbol_tensor                 # (T, S, nc)
+    num_subcarriers = symbols.shape[1]
+    channels = rayleigh_channels(num_subcarriers, num_rx, num_clients, rng)
+    clean = np.einsum("tsc,sac->tsa", symbols, channels)
+    noise_variance = float(np.mean(
+        [noise_variance_for_snr(channels[s], snr_db)
+         for s in range(num_subcarriers)]))
+    received = clean + awgn(clean.shape, noise_variance, rng)
+    return FrameRequest(channels=channels, received=received,
+                        decoder=decoder,
+                        noise_variance=noise_variance if soft else None,
+                        config=config,
+                        num_pad_bits=uplink.streams[0].num_pad_bits,
+                        metadata={"payloads": payloads})
+
+
+def _assert_decisions_match_standalone(result, frame):
+    """The coded-chain contract: runtime decisions equal the standalone
+    recover path run on the same detections."""
+    if frame.noise_variance is None:
+        expected = recover_uplink(result.symbol_indices,
+                                  frame.num_pad_bits, frame.config)
+    else:
+        expected = recover_uplink_soft(result.llrs, frame.num_pad_bits,
+                                       frame.config)
+    assert result.decisions is not None
+    assert len(result.decisions) == len(expected)
+    for got, want in zip(result.decisions, expected):
+        assert got.crc_ok == want.crc_ok
+        assert np.array_equal(got.payload_bits, want.payload_bits)
 
 
 def _reference(frame):
@@ -334,6 +392,202 @@ def test_cell_workload_validation():
         CellWorkload(trace, num_users=1, group_size=2)
     with pytest.raises(ValueError):
         CellWorkload(trace, group_size=2, soft_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# The coded chain through the runtime (ISSUE-6 tentpole)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("strategy", VITERBI_STRATEGIES)
+def test_coded_decisions_match_standalone_recover(strategy):
+    """Frames submitted with a PhyConfig resolve with per-stream payload
+    bits and CRC verdicts bit-identical to ``recover_uplink`` /
+    ``recover_uplink_soft`` on the same detections — under both trellis
+    strategies, with an unconfigured frame mixed in."""
+    rng = np.random.default_rng(12)
+    config4 = _coded_config(4, payload_bits=72)
+    config16 = _coded_config(16, payload_bits=88)
+    hard4 = SphereDecoder(qam(4))
+    soft4 = ListSphereDecoder(qam(4), list_size=4)
+    hard16 = SphereDecoder(qam(16))
+    frames = [
+        _make_coded_frame(config4, hard4, 27.0, rng),
+        _make_coded_frame(config4, soft4, 27.0, rng, soft=True),
+        _make_coded_frame(config16, hard16, 30.0, rng, num_clients=3),
+        _make_frame(hard4, 4, 2, 15.0, rng),       # detection-only frame
+    ]
+    runtime = UplinkRuntime(capacity=24, max_in_flight=4,
+                            viterbi_strategy=strategy)
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    for frame, handle in zip(frames[:3], handles[:3]):
+        _assert_identical(handle.result(), _reference(frame),
+                          frame.noise_variance is not None)
+        _assert_decisions_match_standalone(handle.result(), frame)
+    assert handles[3].result().decisions is None
+
+    # At these SNRs the seeded channels decode cleanly: the delivered
+    # payloads are the transmitted ones and the goodput counters add up.
+    for frame, handle in zip(frames[:3], handles[:3]):
+        for payload, decision in zip(frame.metadata["payloads"],
+                                     handle.result().decisions):
+            assert decision.crc_ok
+            assert np.array_equal(decision.payload_bits, payload)
+    stats = runtime.stats
+    assert stats.streams_decoded == 2 + 2 + 3
+    assert stats.streams_crc_ok == stats.streams_decoded
+    assert stats.payload_bits_ok == 72 * 2 + 72 * 2 + 88 * 3
+    assert stats.goodput_bps() > 0.0
+    assert stats.crc_failure_rate() == 0.0
+
+
+def test_uncoded_config_frames_decode_without_trellis():
+    """config.code=None hard frames skip the Viterbi sweep but still
+    resolve with CRC-judged decisions identical to recover_uplink."""
+    rng = np.random.default_rng(13)
+    config = _coded_config(4, payload_bits=72, coded=False)
+    frame = _make_coded_frame(config, SphereDecoder(qam(4)), 30.0, rng)
+    runtime = UplinkRuntime(capacity=16)
+    handle = runtime.submit(frame)
+    runtime.drain()
+    _assert_decisions_match_standalone(handle.result(), frame)
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_coded_admission_order_invariance(data):
+    """The ISSUE-6 acceptance sweep: any admission order, in-flight
+    budget and trellis strategy yields decisions bit-identical to the
+    standalone recover chain, coded hard/soft frames interleaved."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1),
+                                          label="seed"))
+    config = _coded_config(4, payload_bits=64)
+    hard = SphereDecoder(qam(4))
+    soft = ListSphereDecoder(qam(4), list_size=4)
+    num_frames = data.draw(st.integers(2, 4), label="num_frames")
+    frames = []
+    for _ in range(num_frames):
+        is_soft = bool(rng.integers(2))
+        frames.append(_make_coded_frame(
+            config, soft if is_soft else hard,
+            float(rng.uniform(12.0, 24.0)), rng, soft=is_soft,
+            num_rx=3, num_clients=2))
+    order = data.draw(st.permutations(range(num_frames)), label="order")
+    budget = data.draw(st.integers(1, num_frames), label="max_in_flight")
+    strategy = data.draw(st.sampled_from(VITERBI_STRATEGIES),
+                         label="strategy")
+    runtime = UplinkRuntime(capacity=data.draw(st.integers(2, 24),
+                                               label="capacity"),
+                            max_in_flight=budget,
+                            viterbi_strategy=strategy)
+    handles = {}
+    for index in order:
+        handles[index] = runtime.submit(frames[index])
+        if data.draw(st.booleans(), label="poll"):
+            runtime.poll(max_ticks=data.draw(st.integers(1, 6),
+                                             label="ticks"))
+    runtime.drain()
+    for index, frame in enumerate(frames):
+        _assert_identical(handles[index].result(), _reference(frame),
+                          frame.noise_variance is not None)
+        _assert_decisions_match_standalone(handles[index].result(), frame)
+
+
+def test_coded_frame_request_validation():
+    """Config mistakes fail loudly at submission, not mid-decode."""
+    rng = np.random.default_rng(14)
+    config = _coded_config(4, payload_bits=72)
+    frame = _make_coded_frame(config, SphereDecoder(qam(4)), 25.0, rng)
+    runtime = UplinkRuntime(capacity=8)
+
+    with pytest.raises(ValueError):
+        # Config constellation differs from the decoder's.
+        runtime.submit(FrameRequest(
+            channels=frame.channels, received=frame.received,
+            decoder=SphereDecoder(qam(4)),
+            config=_coded_config(16), num_pad_bits=frame.num_pad_bits))
+    with pytest.raises(ValueError):
+        # Soft decoding without a convolutional code.
+        runtime.submit(FrameRequest(
+            channels=frame.channels, received=frame.received,
+            decoder=ListSphereDecoder(qam(4), list_size=4),
+            noise_variance=0.1,
+            config=_coded_config(4, coded=False), num_pad_bits=0))
+    with pytest.raises(ValueError):
+        # 6 subcarriers cannot carry whole interleaver blocks of the
+        # 8-subcarrier numerology.
+        runtime.submit(FrameRequest(
+            channels=frame.channels[:6], received=frame.received[:, :6, :],
+            decoder=SphereDecoder(qam(4)), config=config, num_pad_bits=0))
+    with pytest.raises(ValueError):
+        # Pad count at/above the per-stream coded length.
+        runtime.submit(FrameRequest(
+            channels=frame.channels, received=frame.received,
+            decoder=SphereDecoder(qam(4)), config=config,
+            num_pad_bits=10**6))
+    with pytest.raises(ValueError):
+        UplinkRuntime(viterbi_strategy="vector")
+
+
+def test_cell_workload_coded_traffic_decodes():
+    trace = synthetic_cell_trace(3, 8, 4, 4, rng=15)
+    workload = CellWorkload(trace, num_users=6, group_size=4,
+                            soft_fraction=0.5, snr_span_db=(18.0, 30.0),
+                            list_size=4, coded=True, payload_bits=56,
+                            rng=16)
+    frames = workload.frames(6)
+    assert all(frame.config is not None for frame in frames)
+    assert all("payloads" in frame.metadata for frame in frames)
+    runtime = UplinkRuntime(capacity=48, max_in_flight=3)
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    for frame, handle in zip(frames, handles):
+        _assert_identical(handle.result(), _reference(frame),
+                          frame.noise_variance is not None)
+        _assert_decisions_match_standalone(handle.result(), frame)
+    assert runtime.stats.streams_decoded == sum(
+        frame.channels.shape[2] for frame in frames)
+
+    narrow = synthetic_cell_trace(1, 6, 4, 4, rng=0)
+    with pytest.raises(ValueError, match="divisible by 8"):
+        CellWorkload(narrow, coded=True)
+
+
+# ----------------------------------------------------------------------
+# Telemetry degenerate cases (ISSUE-6 satellite)
+# ----------------------------------------------------------------------
+
+def test_stats_zero_frames_report_zero_rates():
+    stats = RuntimeStats()
+    assert stats.frames_per_second() == 0.0
+    assert stats.goodput_bps() == 0.0
+    assert stats.crc_failure_rate() == 0.0
+    summary = stats.summary()
+    assert summary["frames_per_second"] == 0.0
+    assert summary["goodput_bits_per_second"] == 0.0
+    assert summary["crc_failure_rate"] == 0.0
+    assert "latency_percentiles_s" not in summary
+
+
+def test_stats_zero_width_interval_reports_inf_not_zero():
+    """One frame under a frozen clock: the busy interval is zero-width,
+    and a positive completion count over it must read as ``inf``, never
+    an understating 0.0."""
+    rng = np.random.default_rng(17)
+    config = _coded_config(4, payload_bits=40)
+    frame = _make_coded_frame(config, SphereDecoder(qam(4)), 30.0, rng)
+    runtime = UplinkRuntime(capacity=16, clock=lambda: 42.0)
+    handle = runtime.submit(frame)
+    runtime.drain()
+    stats = runtime.stats
+    assert handle.latency_s == 0.0
+    assert stats.elapsed_s == 0.0
+    assert stats.frames_per_second() == float("inf")
+    assert stats.payload_bits_ok > 0
+    assert stats.goodput_bps() == float("inf")
+    summary = stats.summary()
+    assert summary["frames_per_second"] == float("inf")
+    assert summary["latency_percentiles_s"][99] == 0.0
 
 
 # ----------------------------------------------------------------------
