@@ -16,23 +16,47 @@ with decoded payload bits per stream — :mod:`~repro.runtime.cell`
 generates heterogeneous multi-user cell traffic to drive it, and
 :mod:`~repro.runtime.stats` reports sustained frames/sec, CRC-passing
 goodput, latency percentiles and lane occupancy.
+
+Frames may carry **deadlines and priority classes**
+(:class:`~repro.runtime.queue.FrameRequest.deadline_s` / ``priority``):
+the admission queue serves classes in strict priority order, freed lanes
+prefer urgent frames, frames about to miss their deadline are *degraded*
+(search budgets shrunk — marked and counted, never silent) and frames
+past it are *expired* with an explicit
+:class:`~repro.runtime.session.FrameExpired` resolution — never a hang,
+never a fabricated result.  Deadline-free frames stay bit-identical to
+standalone ``decode_frame`` under every policy and priority mix.
 """
 
-from .cell import CellWorkload, synthetic_cell_trace
+from .cell import (
+    CellWorkload,
+    DEFAULT_QOS_MIX,
+    QosClass,
+    synthetic_cell_trace,
+)
 from .decode import DecodeStage
-from .engine import StreamingFrontier
+from .engine import LANE_POLICIES, StreamingFrontier
 from .queue import AdmissionQueue, FrameJob, FrameRequest
-from .session import DEFAULT_MAX_IN_FLIGHT, PendingFrame, UplinkRuntime
+from .session import (
+    DEFAULT_MAX_IN_FLIGHT,
+    FrameExpired,
+    PendingFrame,
+    UplinkRuntime,
+)
 from .stats import RuntimeStats
 
 __all__ = [
     "AdmissionQueue",
     "CellWorkload",
     "DEFAULT_MAX_IN_FLIGHT",
+    "DEFAULT_QOS_MIX",
     "DecodeStage",
+    "FrameExpired",
     "FrameJob",
     "FrameRequest",
+    "LANE_POLICIES",
     "PendingFrame",
+    "QosClass",
     "RuntimeStats",
     "StreamingFrontier",
     "UplinkRuntime",

@@ -15,6 +15,16 @@ Frame arrivals are a Poisson process — the sustained-load regime the
 delay-constrained MIMO throughput literature studies — and a configurable
 fraction of frames requests soft (list) decoding.
 
+Arrivals can additionally carry **QoS tags**: a ``qos_mix`` of
+:class:`QosClass` entries (name, priority class, optional deadline,
+traffic share) assigns each frame a deadline and priority the way a
+deployed cell mixes delay-sensitive and best-effort traffic —
+:data:`DEFAULT_QOS_MIX` is a three-class urgent / interactive /
+background split.  Tags ride the :class:`~repro.runtime.queue.FrameRequest`
+(``deadline_s`` / ``priority`` plus a ``"qos"`` metadata label), so the
+same tagged workload drives both the deadline-aware runtime and the FIFO
+baseline the SLO benchmark compares it against.
+
 Every generated frame is a plain
 :class:`~repro.runtime.queue.FrameRequest`; the generator never touches
 the engine, so the same workload can drive the pipelined runtime and the
@@ -42,7 +52,49 @@ from ..utils.rng import as_generator
 from ..utils.validation import require
 from .queue import FrameRequest
 
-__all__ = ["CellWorkload", "ofdm_for_subcarriers", "synthetic_cell_trace"]
+__all__ = ["CellWorkload", "DEFAULT_QOS_MIX", "QosClass",
+           "ofdm_for_subcarriers", "synthetic_cell_trace"]
+
+
+@dataclass(frozen=True)
+class QosClass:
+    """One traffic class of a QoS mix.
+
+    ``priority`` is the runtime's scheduling class (0 = most urgent),
+    ``deadline_s`` the per-frame latency budget (``None`` = best-effort:
+    never expired, never degraded, bit-identical to ``decode_frame``)
+    and ``weight`` the class's relative share of arrivals.
+    """
+
+    name: str
+    priority: int
+    deadline_s: float | None
+    weight: float
+
+    def __post_init__(self) -> None:
+        require(self.priority >= 0, "priority class must be non-negative")
+        require(self.deadline_s is None or self.deadline_s > 0.0,
+                "deadline_s must be positive when given")
+        require(self.weight > 0.0, "class weight must be positive")
+
+    def scaled(self, factor: float) -> "QosClass":
+        """The same class with its deadline scaled by ``factor`` —
+        benchmarks calibrate deadlines to the machine's service rate."""
+        deadline = (None if self.deadline_s is None
+                    else self.deadline_s * factor)
+        return QosClass(self.name, self.priority, deadline, self.weight)
+
+
+#: A deployed-cell-flavoured three-class split: a fifth of the traffic
+#: is delay-critical (voice-like), a third is interactive, and the rest
+#: is best-effort bulk with no deadline at all.  Deadlines are machine
+#: wall-clock budgets on the *decode*; benchmarks rescale them (via
+#: :meth:`QosClass.scaled`) to the measured service rate.
+DEFAULT_QOS_MIX = (
+    QosClass("urgent", priority=0, deadline_s=0.020, weight=0.2),
+    QosClass("interactive", priority=1, deadline_s=0.100, weight=0.3),
+    QosClass("background", priority=2, deadline_s=None, weight=0.5),
+)
 
 
 def ofdm_for_subcarriers(num_data_subcarriers: int) -> OfdmParams:
@@ -136,6 +188,13 @@ class CellWorkload:
         adapter can pick (subcarriers divisible by 8 is sufficient).
     payload_bits:
         Information bits per stream per frame in coded mode.
+    qos_mix:
+        Optional sequence of :class:`QosClass` entries.  Each arrival
+        draws one class (probability proportional to ``weight``) and the
+        generated request carries its ``deadline_s`` and ``priority``,
+        plus the class name under ``metadata["qos"]``.  ``None``
+        (default) leaves frames untagged — no deadlines, priority 0 —
+        the pre-QoS workload.
     """
 
     def __init__(self, trace: ChannelTrace, *, num_users: int = 8,
@@ -147,7 +206,7 @@ class CellWorkload:
                  snr_window_db: float | None = None,
                  soft_fraction: float = 0.0, list_size: int = 16,
                  coded: bool = False, payload_bits: int = 184,
-                 rng=None) -> None:
+                 qos_mix=None, rng=None) -> None:
         require(trace.num_clients >= group_size,
                 f"trace carries {trace.num_clients} clients, cannot serve "
                 f"groups of {group_size}")
@@ -175,6 +234,11 @@ class CellWorkload:
         self.snr_window_db = snr_window_db
         self.soft_fraction = soft_fraction
         self.list_size = list_size
+        self.qos_mix = None if qos_mix is None else tuple(qos_mix)
+        if self.qos_mix is not None:
+            require(len(self.qos_mix) >= 1, "qos_mix must not be empty")
+            weights = np.array([cls.weight for cls in self.qos_mix])
+            self._qos_cdf = np.cumsum(weights) / weights.sum()
         self._rng = as_generator(rng)
         low, high = snr_span_db
         means = np.linspace(low, high, num_users)
@@ -260,6 +324,15 @@ class CellWorkload:
             "order": order,
             "kind": "soft" if soft else "hard",
         }
+        deadline_s = None
+        priority = 0
+        if self.qos_mix is not None:
+            draw = int(np.searchsorted(self._qos_cdf, rng.random(),
+                                       side="right"))
+            qos = self.qos_mix[min(draw, len(self.qos_mix) - 1)]
+            deadline_s = qos.deadline_s
+            priority = qos.priority
+            metadata["qos"] = qos.name
         config = None
         num_pad_bits = 0
         if self.coded:
@@ -287,7 +360,8 @@ class CellWorkload:
         return FrameRequest(
             channels=channels, received=received, decoder=decoder,
             noise_variance=noise_variance if soft else None,
-            config=config, num_pad_bits=num_pad_bits, metadata=metadata)
+            config=config, num_pad_bits=num_pad_bits,
+            deadline_s=deadline_s, priority=priority, metadata=metadata)
 
     def frames(self, count: int) -> list[FrameRequest]:
         """The next ``count`` arrivals as a list."""

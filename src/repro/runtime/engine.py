@@ -54,9 +54,21 @@ from ..sphere.batch_search import make_kernel
 from ..utils.validation import require
 from .queue import AdmissionQueue, FrameJob
 
-__all__ = ["StreamingFrontier"]
+__all__ = ["LANE_POLICIES", "StreamingFrontier"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+#: Per-lane node-budget value meaning "no cap": larger than any count a
+#: search can accumulate, so the always-on budget check is a no-op for
+#: unbudgeted, undegraded searches.
+_NO_BUDGET = np.iinfo(np.int64).max
+
+#: Lane-refill policies.  ``"deadline"`` (default) serves admission
+#: queues class-aware (strict priority, expedited frames first) and
+#: ticks the pool holding the most urgent queued work first, so it wins
+#: the shared lane budget; ``"fifo"`` ignores priorities entirely — the
+#: pre-QoS behaviour, kept as the SLO benchmark's baseline.
+LANE_POLICIES = ("deadline", "fifo")
 
 
 class _PoolBase:
@@ -85,9 +97,13 @@ class _PoolBase:
                                               capacity // 6))
         else:
             self.drain_threshold = engine.drain_threshold
-        self.queue = AdmissionQueue()
+        self.queue = AdmissionQueue(fifo=engine.lane_policy == "fifo")
         self.lanes = LanePool(capacity)
         self.active = _EMPTY
+        # Per-lane node budget: the decoder's own budget normally, a
+        # shrunk value for lanes of a degraded frame, _NO_BUDGET when
+        # the decoder is unbudgeted.
+        self.lane_budget = np.full(capacity, _NO_BUDGET, dtype=np.int64)
 
         levels = self.constellation.levels
         self.symbol_grid = levels[:, None] + 1j * levels[None, :]
@@ -132,6 +148,8 @@ class _PoolBase:
     def _reset_lanes(self, lanes: np.ndarray) -> None:
         top = self.num_streams - 1
         self.level[lanes] = top
+        self.lane_budget[lanes] = (_NO_BUDGET if self.node_budget is None
+                                   else self.node_budget)
         self.radius[lanes] = self.initial_radius_sq
         self.parent[lanes] = 0.0
         self.path_cols[lanes] = 0
@@ -162,6 +180,11 @@ class _PoolBase:
             self.lane_diag[lanes] = job.diag_stack[subcarriers]
             self.lane_diag_sq[lanes] = job.diag_sq_stack[subcarriers]
             self._reset_lanes(lanes)
+            if job.degraded_budget is not None:
+                # Searches of a degraded frame start under the shrunk
+                # budget (never looser than the decoder's own).
+                self.lane_budget[lanes] = np.minimum(
+                    self.lane_budget[lanes], job.degraded_budget)
             points = self.lane_y[lanes, top] / self.lane_diag[lanes, top]
             self.kernel.init(lanes * self.num_streams + top, lanes, points)
             admitted.append(lanes)
@@ -183,6 +206,40 @@ class _PoolBase:
         job.remaining -= count
         if job.remaining == 0:
             completed.append(job)
+
+    # -- QoS hooks (driven by the session's deadline machinery) ---------
+    def degrade(self, job: FrameJob, budget: int) -> None:
+        """Shrink the node budget of the job's in-lane searches.
+
+        Queued searches pick the shrunk budget up at admission (the job
+        carries ``degraded_budget``); this caps the ones already
+        running.  A lane whose search has already visited that many
+        nodes finishes at the next tick's budget stop with its
+        best-so-far — exactly the scalar early-break semantics, so the
+        degraded result is real work delivered early, never fabricated.
+        """
+        lanes = [lane for lane in self.active.tolist()
+                 if self.job_of[lane] is job]
+        if lanes:
+            index = np.asarray(lanes, dtype=np.int64)
+            self.lane_budget[index] = np.minimum(self.lane_budget[index],
+                                                 budget)
+
+    def evict(self, job: FrameJob) -> int:
+        """Abandon the job's in-lane searches (expiry / cancellation):
+        remove them from the active set and free their lanes.  Returns
+        how many searches were evicted."""
+        if not self.active.size:
+            return 0
+        mask = np.fromiter((self.job_of[lane] is job
+                            for lane in self.active.tolist()),
+                           dtype=bool, count=self.active.size)
+        if not mask.any():
+            return 0
+        victims = self.active[mask]
+        self.active = self.active[~mask]
+        self._release(victims)
+        return int(victims.size)
 
     def _by_job(self, lanes: np.ndarray):
         groups: dict[int, tuple[FrameJob, list[int]]] = {}
@@ -223,8 +280,11 @@ class _PoolBase:
         ignored: budget stops, refill, drain check, then the kernel step
         — the frame engines' loop body, verbatim, over lane-indexed
         state."""
-        if self.node_budget is not None and self.active.size:
-            over = self.visited[self.active] >= self.node_budget
+        if self.active.size:
+            # Per-lane budgets: the decoder's own node budget for every
+            # undegraded search (bit-exact with the scalar early break),
+            # a shrunk value for degraded frames, _NO_BUDGET otherwise.
+            over = self.visited[self.active] >= self.lane_budget[self.active]
             if over.any():
                 # Engineering guard, per element: stop and keep what the
                 # search banked so far — exactly the scalar early break.
@@ -470,17 +530,29 @@ class StreamingFrontier:
         engine's rule — ``capacity // 6`` capped at
         :data:`~repro.frame.engine.DRAIN_THRESHOLD_CAP` (32) survivors;
         ``0`` keeps every search in lockstep to the end.
+    lane_policy:
+        Lane-refill policy, one of :data:`LANE_POLICIES`.
+        ``"deadline"`` (default) serves admission queues class-aware and
+        hands the shared lane budget to the pool with the most urgent
+        queued work first; ``"fifo"`` ignores priorities — the pre-QoS
+        baseline.  Either way each search runs the same float program,
+        so per-frame results are policy-independent.
     """
 
     def __init__(self, *, capacity: int | None = None,
-                 drain_threshold: int | None = None) -> None:
+                 drain_threshold: int | None = None,
+                 lane_policy: str = "deadline") -> None:
         if capacity is None:
             capacity = DEFAULT_LANE_CAPACITY
         require(capacity >= 1, "streaming frontier needs at least one lane")
         require(drain_threshold is None or drain_threshold >= 0,
                 "drain threshold must be non-negative when given")
+        require(lane_policy in LANE_POLICIES,
+                f"unknown lane policy {lane_policy!r}; choose from "
+                f"{LANE_POLICIES}")
         self.capacity = capacity
         self.drain_threshold = drain_threshold
+        self.lane_policy = lane_policy
         self.in_use = 0
         self._pools: dict[tuple, _PoolBase] = {}
 
@@ -525,7 +597,49 @@ class StreamingFrontier:
             pool = (_SoftPool if job.kind == "soft" else _HardPool)(
                 self, job)
             self._pools[key] = pool
+        job.pool = pool
         pool.queue.push(job)
+
+    def remove(self, job: FrameJob) -> int:
+        """Abandon every unfinished search of a frame — queued and
+        in-lane alike — freeing its lanes for the refill.  Returns how
+        many searches were dropped (0 for a frame the engine never saw,
+        e.g. a degenerate empty frame)."""
+        pool = job.pool
+        if pool is None:
+            return 0
+        return pool.queue.remove(job) + pool.evict(job)
+
+    def degrade(self, job: FrameJob, budget: int) -> None:
+        """Shrink the node budgets of a frame's remaining searches (the
+        job's ``degraded_budget`` covers the queued ones at admission;
+        this caps the in-lane ones) and expedite its queued searches to
+        the front of their class."""
+        pool = job.pool
+        if pool is None:
+            return
+        pool.degrade(job, budget)
+        pool.queue.expedite(job)
+
+    def reprioritise(self, job: FrameJob, priority: int) -> None:
+        """Move a frame's still-queued searches to another priority
+        class (in-lane searches keep their lanes — reprioritising never
+        undoes work already started)."""
+        if job.pool is not None:
+            job.pool.queue.reprioritise(job, priority)
+
+    def _tick_order(self) -> list[_PoolBase]:
+        pools = [pool for pool in self._pools.values() if pool.has_work]
+        if self.lane_policy == "deadline" and len(pools) > 1:
+            # The pool holding the most urgent queued work admits first,
+            # so it wins the shared lane budget.  Sort stability keeps
+            # the submission order between equally urgent pools.
+            def urgency(pool: _PoolBase) -> float:
+                head = pool.queue.head_priority
+                return float("inf") if head is None else float(head)
+
+            pools.sort(key=urgency)
+        return pools
 
     def tick(self) -> list[FrameJob]:
         """One breadth-synchronised step of every pool with work.
@@ -533,7 +647,6 @@ class StreamingFrontier:
         Returns the frames that finished their last search this tick.
         """
         completed: list[FrameJob] = []
-        for pool in self._pools.values():
-            if pool.has_work:
-                pool.tick(completed)
+        for pool in self._tick_order():
+            pool.tick(completed)
         return completed

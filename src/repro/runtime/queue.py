@@ -9,15 +9,27 @@ index.  This module owns that tagging: a :class:`FrameRequest` describes
 one frame as submitted by the caller, a :class:`FrameJob` is the
 runtime's per-frame state (preprocessed factors, per-element result
 arrays, completion accounting), and the :class:`AdmissionQueue` is a
-frame-ordered FIFO of (frame, element) tags that refills freed lanes from
+class-aware queue of (frame, element) tags that refills freed lanes from
 *any* admitted frame — frame N+1's searches enter lanes while frame N's
 stragglers drain, which is where the pipelining throughput comes from.
+
+The queue is the runtime's QoS hinge: frames carry a **priority class**
+(0 is the most urgent) and refills serve classes in strict priority
+order, FIFO within a class, so urgent frames take freed lanes first.
+Frames can also be *removed* (dropped at expiry or cancelled),
+*reprioritised* (downgraded or promoted mid-flight) and *expedited*
+(jumped to the front of their class when their deadline closes in) --
+the primitives the session's deadline machinery is built from.  A
+``fifo=True`` queue ignores classes entirely; it is the measurement
+baseline the SLO benchmark compares against.
 
 Admission order cannot change any per-frame result: each search executes
 exactly the scalar state machine regardless of what shares a tick with
 it, so results and counters stay bit-identical to standalone
-``decode_frame`` for every interleaving (the property
-``tests/test_runtime.py`` enforces).
+``decode_frame`` for every interleaving and every priority mix (the
+property ``tests/test_runtime.py`` enforces).  QoS only decides *when*
+a search runs; the one exception, the session explicitly shrinking a
+degrading frame's budgets, is a marked, counted mode — never silent.
 """
 
 from __future__ import annotations
@@ -72,9 +84,25 @@ class FrameRequest:
         Tail padding the transmitter added per stream (see
         :attr:`repro.phy.transmitter.StreamFrame.num_pad_bits`); only
         meaningful with a ``config``.
+    deadline_s:
+        Optional per-frame latency budget in seconds, measured from the
+        moment ``submit`` is called (arrival, before any backpressure
+        wait).  Under the runtime's deadline policy a frame past this
+        budget is *expired* — its handle resolves explicitly, never
+        hangs — and a frame about to miss is *degraded* (searches'
+        node budgets shrunk), both counted in the stats.  ``None``
+        (default) means no deadline: the frame is never expired or
+        degraded and stays bit-identical to ``decode_frame``.
+    priority:
+        Priority class, 0 = most urgent.  Strict priority between
+        classes when freed lanes are refilled, FIFO within a class.
+        Scheduling only — per-frame results are identical for every
+        priority mix.
     metadata:
         Free-form tags (user ids, arrival time, chosen modulation...)
-        carried through to the pending handle untouched.
+        carried through to the pending handle.  Copied at admission, so
+        mutating the dict after ``submit`` does not rewrite the
+        handle's tags.
     """
 
     channels: np.ndarray
@@ -83,6 +111,8 @@ class FrameRequest:
     noise_variance: float | None = None
     config: PhyConfig | None = None
     num_pad_bits: int = 0
+    deadline_s: float | None = None
+    priority: int = 0
     metadata: dict = field(default_factory=dict)
 
 
@@ -122,13 +152,27 @@ class FrameJob:
         require(received.shape[2] == channels.shape[1],
                 f"received has {received.shape[2]} antennas, channels have "
                 f"{channels.shape[1]}")
+        require(request.deadline_s is None or request.deadline_s > 0.0,
+                "deadline_s must be positive when given")
+        priority = int(request.priority)
+        require(priority >= 0, "priority class must be non-negative")
         self.frame_id = frame_id
         self.kind = kind
         self.decoder = decoder
         self.noise_variance = request.noise_variance
-        self.metadata = request.metadata
+        # Copy: the caller may keep mutating its dict after submit();
+        # the handle's tags must reflect admission time.
+        self.metadata = dict(request.metadata)
         self.config = request.config
         self.num_pad_bits = request.num_pad_bits
+        self.deadline_s = request.deadline_s
+        self.priority = priority
+        # QoS state owned by the session's deadline machinery: the pool
+        # the engine routed the frame to, whether its budgets were
+        # shrunk, and the per-search node budget degradation applies.
+        self.pool = None
+        self.degraded = False
+        self.degraded_budget: int | None = None
 
         q_stack, r_stack = triangularize_frame(channels)
         y_hat = rotate_frame(q_stack, received)          # (S, T, nc)
@@ -238,16 +282,25 @@ class FrameJob:
 
 
 class AdmissionQueue:
-    """Frame-ordered FIFO of frame-id-tagged searches.
+    """Class-aware queue of frame-id-tagged searches.
 
-    Frames append as contiguous segments; :meth:`take` pops searches
-    across segment boundaries, so a refill batch can mix the tail of one
-    frame with the head of the next — the runtime's lanes never idle
-    while any admitted frame still has work.
+    Frames append as contiguous segments in their priority class;
+    :meth:`take` serves classes in strict priority order (0 first),
+    FIFO within a class, and pops searches across segment boundaries,
+    so a refill batch can mix the tail of one frame with the head of
+    the next — the runtime's lanes never idle while any admitted frame
+    still has work.  Frames can be removed (:meth:`remove`), moved to
+    another class (:meth:`reprioritise`) or jumped to the front of
+    their class (:meth:`expedite`) while queued.
+
+    ``fifo=True`` collapses every class into one arrival-ordered FIFO —
+    the pre-QoS behaviour, kept as the measurement baseline for the
+    SLO benchmark.
     """
 
-    def __init__(self) -> None:
-        self._segments: deque[list] = deque()
+    def __init__(self, *, fifo: bool = False) -> None:
+        self._fifo = fifo
+        self._classes: dict[int, deque[list]] = {}
         self._pending = 0
 
     @property
@@ -255,29 +308,106 @@ class AdmissionQueue:
         """Searches admitted but not yet handed to a lane."""
         return self._pending
 
+    @property
+    def head_priority(self) -> int | None:
+        """The most urgent class with queued work (``None`` if empty)."""
+        classes = [priority for priority, segments
+                   in self._classes.items() if segments]
+        return min(classes) if classes else None
+
+    def _class_of(self, job: FrameJob) -> int:
+        return 0 if self._fifo else job.priority
+
+    def _segments_of(self, priority: int) -> deque[list]:
+        segments = self._classes.get(priority)
+        if segments is None:
+            segments = deque()
+            self._classes[priority] = segments
+        return segments
+
+    def _find(self, job: FrameJob) -> tuple[deque[list], list] | None:
+        for segments in self._classes.values():
+            for segment in segments:
+                if segment[0] is job:
+                    return segments, segment
+        return None
+
     def push(self, job: FrameJob) -> None:
         """Admit a frame: tag and enqueue all of its searches."""
         if job.num_problems:
-            self._segments.append([job, 0])
+            self._segments_of(self._class_of(job)).append([job, 0])
             self._pending += job.num_problems
 
     def take(self, count: int) -> list[tuple[FrameJob, np.ndarray]]:
-        """Pop up to ``count`` searches in frame-FIFO order.
+        """Pop up to ``count`` searches: strict priority between
+        classes, frame-FIFO within.
 
         Returns ``(job, elements)`` runs — one per frame touched — where
         ``elements`` are frame-local element indices.
         """
         batches: list[tuple[FrameJob, np.ndarray]] = []
-        while count > 0 and self._segments:
-            segment = self._segments[0]
-            job, start = segment
-            stop = min(start + count, job.num_problems)
-            batches.append((job, np.arange(start, stop, dtype=np.int64)))
-            taken = stop - start
-            count -= taken
-            self._pending -= taken
-            if stop == job.num_problems:
-                self._segments.popleft()
-            else:
-                segment[1] = stop
+        for priority in sorted(self._classes):
+            segments = self._classes[priority]
+            while count > 0 and segments:
+                segment = segments[0]
+                job, start = segment
+                stop = min(start + count, job.num_problems)
+                batches.append((job, np.arange(start, stop,
+                                               dtype=np.int64)))
+                taken = stop - start
+                count -= taken
+                self._pending -= taken
+                if stop == job.num_problems:
+                    segments.popleft()
+                else:
+                    segment[1] = stop
+            if count <= 0:
+                break
         return batches
+
+    def remove(self, job: FrameJob) -> int:
+        """Drop a frame's still-queued searches (expiry / cancellation).
+
+        Returns how many searches were removed — 0 if the frame had
+        none queued (all already in lanes, or never pushed here).
+        """
+        found = self._find(job)
+        if found is None:
+            return 0
+        segments, segment = found
+        segments.remove(segment)
+        remaining = job.num_problems - segment[1]
+        self._pending -= remaining
+        return remaining
+
+    def reprioritise(self, job: FrameJob, priority: int) -> bool:
+        """Move a queued frame's remaining searches to another class.
+
+        The segment re-enters at the *back* of the new class (a
+        downgrade does not cut in line).  Returns ``False`` if the
+        frame had nothing queued.  No-op ordering under ``fifo=True``.
+        """
+        if self._fifo:
+            return self._find(job) is not None
+        found = self._find(job)
+        if found is None:
+            return False
+        segments, segment = found
+        segments.remove(segment)
+        self._segments_of(priority).append(segment)
+        return True
+
+    def expedite(self, job: FrameJob) -> bool:
+        """Jump a queued frame to the *front* of its class — the lane
+        policy's urgency hook: a frame about to miss its deadline takes
+        the next freed lanes of its class.  No-op under ``fifo=True``.
+        """
+        if self._fifo:
+            return self._find(job) is not None
+        found = self._find(job)
+        if found is None:
+            return False
+        segments, segment = found
+        segments.remove(segment)
+        self._segments_of(self._class_of(job)).appendleft(segment)
+        return True

@@ -19,12 +19,38 @@ payload bits plus per-stream CRC verdicts — the runtime delivers what a
 real AP delivers, and :class:`~repro.runtime.stats.RuntimeStats` reports
 CRC-passing goodput.
 
+**Deadline semantics.**  Frames may carry a latency budget
+(``FrameRequest.deadline_s``, measured from arrival) and a priority
+class.  Under the default ``lane_policy="deadline"`` the runtime
+degrades gracefully instead of failing silently, in three explicit,
+counted steps:
+
+1. *Met* — a frame decoded without deadline pressure (no deadline, or
+   deadline comfortably met) is **bit-identical** to standalone
+   ``decode_frame``; QoS only reorders lane refills, which cannot
+   change any per-frame result.
+2. *Degraded* — once a frame enters its deadline margin, its remaining
+   searches' node budgets are shrunk (default: ``num_streams`` nodes,
+   the greedy first descent — the same point a K=1 K-best pass keeps)
+   and its queued searches are expedited.  The result is real banked
+   work delivered early (the scalar early-break semantics), the handle
+   is marked ``degraded`` and the stats count it, including the CRC
+   cost over degraded frames.
+3. *Expired* — a frame still unfinished past its deadline is dropped:
+   its searches are abandoned, the handle resolves with an explicit
+   expired state (``result()`` raises :class:`FrameExpired`) and
+   ``poll``/``drain`` return it — never a hang, never a fabricated
+   result.  A frame whose completion *races* its deadline in the same
+   tick resolves with its real result and is counted a near miss, not
+   a drop.
+
 Per-frame results are **bit-identical** to standalone
 ``SphereDecoder.decode_frame`` / ``ListSphereDecoder.decode_frame``
-(results, LLRs, counters) for every admission order and interleaving,
-and decoded decisions are bit-identical to standalone
+(results, LLRs, counters) for every admission order, priority mix and
+interleaving, and decoded decisions are bit-identical to standalone
 ``recover_uplink`` / ``recover_uplink_soft`` on the same detections —
-the runtime contract ``tests/test_runtime.py`` enforces.
+the runtime contract ``tests/test_runtime.py`` enforces.  Degradation
+and expiry apply only to deadline-tagged frames under pressure.
 """
 
 from __future__ import annotations
@@ -33,11 +59,11 @@ import time
 
 from ..utils.validation import require
 from .decode import DecodeStage
-from .engine import StreamingFrontier
+from .engine import LANE_POLICIES, StreamingFrontier
 from .queue import FrameJob, FrameRequest
 from .stats import RuntimeStats
 
-__all__ = ["PendingFrame", "UplinkRuntime"]
+__all__ = ["FrameExpired", "PendingFrame", "UplinkRuntime"]
 
 #: Default bound on frames decoded concurrently.  Deep enough to bridge
 #: every frame's straggler tail with the next frames' fresh searches,
@@ -45,43 +71,81 @@ __all__ = ["PendingFrame", "UplinkRuntime"]
 #: frame-at-a-time latency under overload.
 DEFAULT_MAX_IN_FLIGHT = 8
 
+#: When no explicit ``degrade_margin_s`` is configured, a frame enters
+#: degradation once this fraction of its deadline budget remains.
+DEGRADE_MARGIN_FRACTION = 0.25
+
+
+class FrameExpired(RuntimeError):
+    """Raised by :meth:`PendingFrame.result` when the frame was expired
+    at its deadline (or cancelled) instead of completing — the explicit
+    resolution that replaces both hanging and fabricating a result."""
+
 
 class PendingFrame:
     """Handle for one submitted frame.
 
-    Resolves when the runtime finishes the frame's last search;
-    :meth:`result` then returns exactly what standalone ``decode_frame``
-    would have (a :class:`~repro.frame.results.FrameDecodeResult` or
-    :class:`~repro.frame.results.SoftFrameResult`).  Frames submitted
-    with a :class:`~repro.phy.config.PhyConfig` additionally resolve
-    with ``result().decisions`` — one
+    Resolves when the runtime finishes the frame's last search — or,
+    for deadline-tagged frames, when the deadline policy expires it.
+    :attr:`resolution` records which (``"completed"``, ``"expired"`` or
+    ``"cancelled"``); :meth:`result` returns exactly what standalone
+    ``decode_frame`` would have for completed frames (a
+    :class:`~repro.frame.results.FrameDecodeResult` or
+    :class:`~repro.frame.results.SoftFrameResult`) and raises
+    :class:`FrameExpired` otherwise.  Frames submitted with a
+    :class:`~repro.phy.config.PhyConfig` additionally resolve with
+    ``result().decisions`` — one
     :class:`~repro.phy.receiver.StreamDecision` (payload bits + CRC
     verdict) per stream, bit-identical to standalone
     ``recover_uplink`` / ``recover_uplink_soft``.
+
+    Deadline bookkeeping lives on the handle: ``deadline_at`` (absolute,
+    on the runtime clock), ``degraded`` (budgets were shrunk — the
+    result is marked, never silently approximate) and
+    ``missed_deadline`` (completed, but past the deadline — a near
+    miss).
     """
 
     def __init__(self, frame_id: int, kind: str, metadata: dict,
-                 submitted_at: float) -> None:
+                 submitted_at: float, deadline_s: float | None = None,
+                 priority: int = 0) -> None:
         self.frame_id = frame_id
         self.kind = kind
         self.metadata = metadata
         self.submitted_at = submitted_at
+        self.deadline_s = deadline_s
+        self.priority = priority
+        self.deadline_at = (None if deadline_s is None
+                            else submitted_at + deadline_s)
         self.completed_at: float | None = None
+        self.resolution: str | None = None
+        self.degraded = False
+        self.missed_deadline = False
         self._result = None
 
     @property
     def done(self) -> bool:
-        return self.completed_at is not None
+        """Resolved — completed, expired or cancelled."""
+        return self.resolution is not None
+
+    @property
+    def expired(self) -> bool:
+        return self.resolution == "expired"
 
     @property
     def latency_s(self) -> float:
-        """Submit-to-completion wall time."""
-        require(self.done, f"frame {self.frame_id} has not completed")
+        """Submit-to-resolution wall time."""
+        require(self.done, f"frame {self.frame_id} has not resolved")
         return self.completed_at - self.submitted_at
 
     def result(self):
-        require(self.done, f"frame {self.frame_id} has not completed; "
+        require(self.done, f"frame {self.frame_id} has not resolved; "
                 "poll() or drain() the runtime first")
+        if self.resolution != "completed":
+            raise FrameExpired(
+                f"frame {self.frame_id} was {self.resolution} "
+                f"{'at its deadline ' if self.expired else ''}after "
+                f"{self.latency_s:.6f}s; no result was produced")
         return self._result
 
 
@@ -104,28 +168,55 @@ class UplinkRuntime:
         loop over every stream of every frame completing a tick;
         ``"scalar"`` is the block-by-block differential baseline.
         Decisions are bit-identical either way.
+    lane_policy:
+        ``"deadline"`` (default): class-aware lane refills plus the
+        deadline machinery (degradation and expiry) for deadline-tagged
+        frames.  ``"fifo"``: priority-ignorant refills and **no**
+        degradation or expiry — deadlines are still *measured* (misses
+        land in :meth:`RuntimeStats.deadline_miss_rate`), making it the
+        like-for-like baseline the SLO benchmark compares against.
+    degrade_margin_s:
+        How long before its deadline a frame enters degradation.
+        ``None`` (default) uses ``DEGRADE_MARGIN_FRACTION`` (25%) of
+        each frame's own deadline budget.
+    degraded_node_budget:
+        Per-search node budget applied when a frame degrades.  ``None``
+        (default) uses the frame's stream count — one greedy descent,
+        which always banks the Babai leaf a K=1 K-best pass would keep.
     """
 
     def __init__(self, *, capacity: int | None = None,
                  drain_threshold: int | None = None,
                  max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
                  viterbi_strategy: str = "batch",
+                 lane_policy: str = "deadline",
+                 degrade_margin_s: float | None = None,
+                 degraded_node_budget: int | None = None,
                  clock=time.perf_counter) -> None:
         require(max_in_flight >= 1, "need an in-flight budget of at least 1")
+        require(degrade_margin_s is None or degrade_margin_s >= 0.0,
+                "degrade margin must be non-negative when given")
+        require(degraded_node_budget is None or degraded_node_budget >= 1,
+                "degraded node budget must be positive when given")
         self._engine = StreamingFrontier(capacity=capacity,
-                                         drain_threshold=drain_threshold)
+                                         drain_threshold=drain_threshold,
+                                         lane_policy=lane_policy)
         self._decode = DecodeStage(viterbi_strategy)
         self.max_in_flight = max_in_flight
+        self.lane_policy = lane_policy
+        self.degrade_margin_s = degrade_margin_s
+        self.degraded_node_budget = degraded_node_budget
         self.stats = RuntimeStats()
         self._clock = clock
         self._next_frame_id = 0
         self._handles: dict[int, PendingFrame] = {}
+        self._jobs: dict[int, FrameJob] = {}
         self._completed_backlog: list[PendingFrame] = []
 
     # -- introspection --------------------------------------------------
     @property
     def in_flight(self) -> int:
-        """Submitted frames not yet completed."""
+        """Submitted frames not yet resolved."""
         return len(self._handles)
 
     @property
@@ -139,8 +230,16 @@ class UplinkRuntime:
     # -- the tick loop --------------------------------------------------
     def _tick(self) -> list[PendingFrame]:
         finished = self._engine.tick()
-        self.stats.record_tick(self._engine.occupancy())
-        return self._complete_all(finished)
+        now = self._clock()
+        self.stats.record_tick(self._engine.occupancy(), now)
+        resolved = self._complete_all(finished)
+        if self.lane_policy == "deadline":
+            # Completions first: a frame finishing in the same tick its
+            # deadline trips resolves with its real result (a counted
+            # near miss), and only then do still-unfinished frames
+            # expire.
+            resolved.extend(self._enforce_deadlines(now))
+        return resolved
 
     def _complete_all(self, jobs: list[FrameJob]) -> list[PendingFrame]:
         """Finalise detections, then decode every configured frame's
@@ -152,13 +251,59 @@ class UplinkRuntime:
 
     def _complete(self, job: FrameJob, result) -> PendingFrame:
         handle = self._handles.pop(job.frame_id)
+        self._jobs.pop(job.frame_id, None)
         handle._result = result
         handle.completed_at = self._clock()
-        self.stats.record_complete(handle.completed_at, handle.latency_s,
-                                   job.num_problems, result.counters)
+        handle.resolution = "completed"
+        handle.degraded = job.degraded
+        if (handle.deadline_at is not None
+                and handle.completed_at > handle.deadline_at):
+            handle.missed_deadline = True
+        self.stats.record_complete(
+            handle.completed_at, handle.latency_s, job.num_problems,
+            result.counters, priority=handle.priority,
+            had_deadline=handle.deadline_at is not None,
+            missed_deadline=handle.missed_deadline)
         if result.decisions is not None:
-            self.stats.record_decisions(result.decisions)
+            self.stats.record_decisions(result.decisions,
+                                        degraded=handle.degraded)
         return handle
+
+    # -- deadline machinery ---------------------------------------------
+    def _degrade_margin(self, handle: PendingFrame) -> float:
+        if self.degrade_margin_s is not None:
+            return self.degrade_margin_s
+        return DEGRADE_MARGIN_FRACTION * handle.deadline_s
+
+    def _enforce_deadlines(self, now: float) -> list[PendingFrame]:
+        """Expire past-deadline frames; degrade frames inside their
+        margin.  Runs after the tick's completions, so it only ever
+        sees genuinely unfinished frames."""
+        expired: list[PendingFrame] = []
+        for frame_id in list(self._jobs):
+            handle = self._handles[frame_id]
+            if handle.deadline_at is None:
+                continue
+            job = self._jobs[frame_id]
+            if now > handle.deadline_at:
+                self._engine.remove(job)
+                del self._handles[frame_id]
+                del self._jobs[frame_id]
+                handle.completed_at = now
+                handle.resolution = "expired"
+                self.stats.record_expired(now)
+                expired.append(handle)
+            elif (not job.degraded
+                  and now > handle.deadline_at - self._degrade_margin(handle)):
+                budget = (self.degraded_node_budget
+                          if self.degraded_node_budget is not None
+                          else job.num_streams)
+                job.degraded = True
+                job.degraded_budget = budget
+                self._engine.degrade(job, budget)
+                handle.degraded = True
+                self.stats.record_degraded(now)
+        return expired
 
     # -- public API -----------------------------------------------------
     def submit(self, frame: FrameRequest) -> PendingFrame:
@@ -166,13 +311,15 @@ class UplinkRuntime:
 
         Preprocessing (the stacked QR sweep) happens here; the frame's
         searches then enter the shared admission queue tagged with its
-        frame id.  If the in-flight budget is full, the runtime ticks the
-        engine until a frame completes before admitting this one.
+        frame id and priority class.  If the in-flight budget is full,
+        the runtime ticks the engine until a frame resolves before
+        admitting this one.
 
         The handle's ``submitted_at`` is stamped *on arrival* — before
         any backpressure wait and before preprocessing — so latency
         percentiles include queueing delay, the quantity that actually
-        grows under overload.
+        grows under overload.  Deadlines are measured from the same
+        stamp.
         """
         submitted_at = self._clock()
         while len(self._handles) >= self.max_in_flight:
@@ -181,8 +328,11 @@ class UplinkRuntime:
         job = FrameJob(frame_id, frame)      # validates; may raise
         self._next_frame_id += 1
         self.stats.record_submit(submitted_at)
-        handle = PendingFrame(frame_id, job.kind, job.metadata, submitted_at)
+        handle = PendingFrame(frame_id, job.kind, job.metadata,
+                              submitted_at, deadline_s=job.deadline_s,
+                              priority=job.priority)
         self._handles[frame_id] = handle
+        self._jobs[frame_id] = job
         if job.num_problems == 0:
             # Degenerate frame (no subcarriers or no symbols): complete
             # immediately with the same empty result ``decode_frame``
@@ -192,13 +342,43 @@ class UplinkRuntime:
             self._engine.submit(job)
         return handle
 
-    def poll(self, max_ticks: int | None = None) -> list[PendingFrame]:
-        """Advance the engine and return frames completed so far.
+    def cancel(self, handle: PendingFrame) -> bool:
+        """Drop an unresolved frame: abandon its searches, free its
+        lanes, resolve the handle as ``"cancelled"`` (``result()``
+        raises :class:`FrameExpired`).  Returns ``False`` if the frame
+        had already resolved.  Cancellation resolves synchronously —
+        the handle is *not* also returned by ``poll``/``drain``."""
+        if handle.done:
+            return False
+        job = self._jobs.pop(handle.frame_id)
+        del self._handles[handle.frame_id]
+        self._engine.remove(job)
+        handle.completed_at = self._clock()
+        handle.resolution = "cancelled"
+        self.stats.record_cancelled(handle.completed_at)
+        return True
 
-        Runs the tick loop until at least one frame completes, the
-        runtime goes idle, or ``max_ticks`` elapses; completions that
+    def reprioritise(self, handle: PendingFrame, priority: int) -> None:
+        """Move an unresolved frame to another priority class —
+        downgrade or promote mid-flight.  Only its still-queued searches
+        reorder (work already in lanes is never undone); the change is
+        a scheduling hint, so results stay bit-identical."""
+        require(priority >= 0, "priority class must be non-negative")
+        require(not handle.done,
+                f"frame {handle.frame_id} has already resolved")
+        job = self._jobs[handle.frame_id]
+        job.priority = priority
+        handle.priority = priority
+        self._engine.reprioritise(job, priority)
+
+    def poll(self, max_ticks: int | None = None) -> list[PendingFrame]:
+        """Advance the engine and return frames resolved so far
+        (completed and expired alike).
+
+        Runs the tick loop until at least one frame resolves, the
+        runtime goes idle, or ``max_ticks`` elapses; resolutions that
         piled up during backpressured ``submit`` calls are returned
-        first.
+        first (``max_ticks=0`` returns *only* that backlog).
         """
         done = self._completed_backlog
         self._completed_backlog = []
@@ -210,8 +390,10 @@ class UplinkRuntime:
         return done
 
     def drain(self) -> list[PendingFrame]:
-        """Run every admitted frame to completion; returns them in
-        completion order (backpressure backlog first)."""
+        """Run every admitted frame to resolution; returns them in
+        resolution order (backpressure backlog first).  Expired frames
+        are returned like completed ones — a drain never hangs on a
+        deadline."""
         done = self._completed_backlog
         self._completed_backlog = []
         while self._handles:

@@ -1,16 +1,28 @@
-"""Runtime telemetry: sustained throughput, latency tails, occupancy.
+"""Runtime telemetry: sustained throughput, latency tails, QoS accounting.
 
 The Geosphere pitch is *consistent* throughput under sustained load, so
 the runtime's observability is framed the way queueing evaluations frame
-it: frames per second over the busy interval, per-frame latency
-percentiles (tail latency is where straggler searches show up), lane
-occupancy (how full the lockstep frontier actually runs — the quantity
-multi-frame pipelining exists to raise), and the visited-node/PED totals
+it: frames per second over the accumulated **busy time** (idle gaps
+between traffic bursts are excluded, so the rate describes what the
+engine sustains while it actually has work), per-frame latency
+percentiles overall and per priority class (tail latency is where
+straggler searches and queueing delay show up), lane occupancy (how full
+the lockstep frontier actually runs), and the visited-node/PED totals
 that tie wall-clock back to the paper's complexity metrics.  Frames that
 run the coded chain additionally feed goodput accounting: payload bits
 over CRC-passing streams per second and the CRC failure rate — the
-headline numbers deployed-network evaluations actually report.  The
-session layer feeds one sample per tick and one record per frame;
+headline numbers deployed-network evaluations actually report.
+
+Deadline-tagged traffic adds the SLO ledger the delay-constrained MIMO
+throughput literature frames: how many frames met their deadline,
+completed late (a *near miss* — the frame finished in the same tick its
+deadline tripped, so it resolves with its real result), were expired
+unfinished, or were degraded (node budgets shrunk to make the deadline)
+— plus the BER-side cost of degradation, tracked as a separate CRC
+failure rate over degraded frames only.  Degraded and expired frames are
+always *counted*, never silent.
+
+The session layer feeds one sample per tick and one record per frame;
 everything here is cheap enough to leave on permanently.
 """
 
@@ -31,71 +43,184 @@ __all__ = ["RuntimeStats"]
 #: report should describe.
 DEFAULT_LATENCY_WINDOW = 4096
 
+#: Busy-interval segmentation: a silence longer than this many recent
+#: tick periods (but never shorter than ``MIN_IDLE_GAP_S``) closes the
+#: current busy interval, so the gap between two traffic bursts does not
+#: deflate ``frames_per_second()`` / ``goodput_bps()``.
+IDLE_GAP_TICKS = 25.0
+MIN_IDLE_GAP_S = 1e-3
+
+#: Smoothing factor of the exponential moving average over tick periods
+#: that adapts the idle-gap threshold to however fast this machine ticks.
+_TICK_EMA_ALPHA = 0.1
+
 
 class RuntimeStats:
     """Aggregated telemetry for one :class:`~repro.runtime.session.UplinkRuntime`.
 
     Counts, rates and occupancy are running aggregates; latency
     percentiles are computed over a sliding window of the most recent
-    ``latency_window`` completions, so a resident runtime's footprint
-    stays bounded no matter how long it serves.
+    ``latency_window`` completions (overall and per priority class), so
+    a resident runtime's footprint stays bounded no matter how long it
+    serves.
+
+    Parameters
+    ----------
+    latency_window:
+        Completions retained per percentile window.
+    idle_gap_s:
+        Silence that closes a busy interval.  ``None`` (default) adapts
+        to the observed tick cadence: a gap longer than
+        ``IDLE_GAP_TICKS`` recent tick periods (floored at
+        ``MIN_IDLE_GAP_S``) ends the interval, so bursty workloads
+        report rates over time the runtime actually had work.
     """
 
-    def __init__(self, latency_window: int = DEFAULT_LATENCY_WINDOW) -> None:
+    def __init__(self, latency_window: int = DEFAULT_LATENCY_WINDOW,
+                 idle_gap_s: float | None = None) -> None:
         require(latency_window >= 1, "latency window must be positive")
+        require(idle_gap_s is None or idle_gap_s > 0.0,
+                "idle gap must be positive when given")
+        self._latency_window = latency_window
+        self._idle_gap_s = idle_gap_s
         self.frames_submitted = 0
         self.frames_completed = 0
+        self.frames_expired = 0
+        self.frames_cancelled = 0
+        self.frames_degraded = 0
         self.searches_completed = 0
         self.streams_decoded = 0
         self.streams_crc_ok = 0
         self.payload_bits_ok = 0
+        self.degraded_streams_decoded = 0
+        self.degraded_streams_crc_ok = 0
+        self.deadline_frames_resolved = 0
+        self.deadline_frames_met = 0
+        self.deadline_near_misses = 0
         self.ticks = 0
         self.counters = ComplexityCounters()
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._class_latencies: dict[int, deque[float]] = {}
         self._occupancy_sum = 0.0
-        self._first_submit: float | None = None
-        self._last_complete: float | None = None
+        # Busy-time accumulation: closed intervals summed into _busy_s,
+        # plus one open interval [_interval_start, _last_event].
+        self._busy_s = 0.0
+        self._interval_start: float | None = None
+        self._last_event: float | None = None
+        self._tick_ema_s: float | None = None
+        self._last_tick: float | None = None
+
+    # -- busy-interval bookkeeping --------------------------------------
+    def _gap_threshold(self) -> float:
+        if self._idle_gap_s is not None:
+            return self._idle_gap_s
+        if self._tick_ema_s is None:
+            return MIN_IDLE_GAP_S
+        return max(MIN_IDLE_GAP_S, IDLE_GAP_TICKS * self._tick_ema_s)
+
+    def _touch(self, now: float) -> None:
+        """Note one submit/tick/complete event at ``now``: extend the
+        open busy interval, or close it and start a new one if the
+        runtime sat silent for longer than the idle-gap threshold."""
+        if self._interval_start is None:
+            self._interval_start = now
+        elif now - self._last_event > self._gap_threshold():
+            self._busy_s += self._last_event - self._interval_start
+            self._interval_start = now
+        self._last_event = now
 
     # -- recording hooks (called by the session) ------------------------
     def record_submit(self, now: float) -> None:
         self.frames_submitted += 1
-        if self._first_submit is None:
-            self._first_submit = now
+        self._touch(now)
 
-    def record_tick(self, occupancy: float) -> None:
+    def record_tick(self, occupancy: float, now: float) -> None:
         self.ticks += 1
         self._occupancy_sum += occupancy
+        self._touch(now)
+        if self._last_tick is not None:
+            gap = now - self._last_tick
+            # Only in-burst gaps feed the cadence estimate — a burst
+            # boundary is exactly what the threshold must not chase.
+            if gap <= self._gap_threshold():
+                if self._tick_ema_s is None:
+                    self._tick_ema_s = gap
+                else:
+                    self._tick_ema_s += _TICK_EMA_ALPHA * (
+                        gap - self._tick_ema_s)
+        self._last_tick = now
 
     def record_complete(self, now: float, latency_s: float, detections: int,
-                        counters: ComplexityCounters) -> None:
+                        counters: ComplexityCounters, *, priority: int = 0,
+                        had_deadline: bool = False,
+                        missed_deadline: bool = False) -> None:
         self.frames_completed += 1
         self.searches_completed += detections
         self._latencies.append(latency_s)
-        self._last_complete = now
+        window = self._class_latencies.get(priority)
+        if window is None:
+            window = deque(maxlen=self._latency_window)
+            self._class_latencies[priority] = window
+        window.append(latency_s)
+        self._touch(now)
         self.counters.merge(counters)
+        if had_deadline:
+            self.deadline_frames_resolved += 1
+            if missed_deadline:
+                self.deadline_near_misses += 1
+            else:
+                self.deadline_frames_met += 1
 
-    def record_decisions(self, decisions) -> None:
+    def record_degraded(self, now: float) -> None:
+        """One frame's budgets shrunk to chase its deadline.  Counted
+        at degradation time, so frames that degrade and *still* expire
+        are counted once in each ledger."""
+        self.frames_degraded += 1
+        self._touch(now)
+
+    def record_expired(self, now: float) -> None:
+        """One frame dropped unfinished at its deadline — a full miss."""
+        self.frames_expired += 1
+        self.deadline_frames_resolved += 1
+        self._touch(now)
+
+    def record_cancelled(self, now: float) -> None:
+        """One frame explicitly removed by the caller (not a deadline
+        event, so it never enters the miss-rate denominator)."""
+        self.frames_cancelled += 1
+        self._touch(now)
+
+    def record_decisions(self, decisions, *, degraded: bool = False) -> None:
         """Tally one decoded frame's per-stream CRC verdicts.
 
         Goodput counts payload bits over CRC-*passing* streams only —
-        a frame the check sequence rejects delivered nothing.
+        a frame the check sequence rejects delivered nothing.  Degraded
+        frames are additionally tallied apart, so the BER/CRC cost of
+        shrinking their search budgets is reportable on its own.
         """
         for decision in decisions:
             self.streams_decoded += 1
+            if degraded:
+                self.degraded_streams_decoded += 1
             if decision.crc_ok:
                 self.streams_crc_ok += 1
                 self.payload_bits_ok += int(decision.payload_bits.size)
+                if degraded:
+                    self.degraded_streams_crc_ok += 1
 
     # -- derived metrics ------------------------------------------------
     @property
     def elapsed_s(self) -> float:
-        """Busy interval: first submission to last completion."""
-        if self._first_submit is None or self._last_complete is None:
+        """Accumulated busy time: the sum of intervals during which the
+        runtime saw events (submits, ticks, completions), with silences
+        longer than the idle-gap threshold excluded — so a quiet hour
+        between two bursts does not deflate the rates."""
+        if self._interval_start is None:
             return 0.0
-        return self._last_complete - self._first_submit
+        return self._busy_s + (self._last_event - self._interval_start)
 
     def _rate(self, count: int) -> float:
-        """``count`` events over the busy interval, with well-defined
+        """``count`` events over the busy time, with well-defined
         degenerate cases: zero events is 0.0, and a positive count over
         a zero-width interval (a single frame completing faster than the
         clock resolves) is ``inf`` — never an understating 0.0."""
@@ -105,7 +230,7 @@ class RuntimeStats:
         return count / elapsed if elapsed > 0.0 else float("inf")
 
     def frames_per_second(self) -> float:
-        """Sustained completion rate over the busy interval."""
+        """Sustained completion rate over the accumulated busy time."""
         return self._rate(self.frames_completed)
 
     def goodput_bps(self) -> float:
@@ -121,13 +246,48 @@ class RuntimeStats:
             return 0.0
         return 1.0 - self.streams_crc_ok / self.streams_decoded
 
-    def latency_percentiles(self, percentiles=(50, 90, 99)) -> dict[int, float]:
-        """Per-frame submit-to-completion latency percentiles (seconds),
-        over the most recent window of completions."""
-        require(len(self._latencies) > 0,
-                "no completed frames to take percentiles over")
-        values = np.percentile(np.asarray(self._latencies), percentiles)
+    def degraded_crc_failure_rate(self) -> float:
+        """CRC failure rate over *degraded* frames' streams only — the
+        error-rate price of shrinking search budgets to make deadlines;
+        0.0 before any degraded stream has been decoded."""
+        if self.degraded_streams_decoded == 0:
+            return 0.0
+        return 1.0 - (self.degraded_streams_crc_ok
+                      / self.degraded_streams_decoded)
+
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-tagged frames that missed: expired
+        unfinished, or completed past their deadline (near misses).
+        0.0 before any deadline-tagged frame has resolved."""
+        if self.deadline_frames_resolved == 0:
+            return 0.0
+        return ((self.frames_expired + self.deadline_near_misses)
+                / self.deadline_frames_resolved)
+
+    def latency_percentiles(self, percentiles=(50, 90, 99), *,
+                            priority: int | None = None) -> dict[int, float]:
+        """Per-frame submit-to-completion latency percentiles (seconds)
+        over the most recent window of completions.
+
+        ``priority`` narrows the window to one priority class.  An empty
+        window — a fresh runtime, or a class that has completed nothing —
+        returns an **empty dict** rather than raising, so direct callers
+        can probe a runtime at any point in its life.
+        """
+        window = (self._latencies if priority is None
+                  else self._class_latencies.get(priority, ()))
+        if not len(window):
+            return {}
+        values = np.percentile(np.asarray(window), percentiles)
         return {int(p): float(v) for p, v in zip(percentiles, values)}
+
+    def class_latency_percentiles(self, percentiles=(50, 90, 99)
+                                  ) -> dict[int, dict[int, float]]:
+        """Latency percentiles per priority class (classes that have
+        completed at least one frame)."""
+        return {priority: self.latency_percentiles(percentiles,
+                                                   priority=priority)
+                for priority in sorted(self._class_latencies)}
 
     def mean_lane_occupancy(self) -> float:
         """Average fraction of the lane budget busy per tick."""
@@ -139,6 +299,9 @@ class RuntimeStats:
         report = {
             "frames_submitted": self.frames_submitted,
             "frames_completed": self.frames_completed,
+            "frames_expired": self.frames_expired,
+            "frames_cancelled": self.frames_cancelled,
+            "frames_degraded": self.frames_degraded,
             "searches_completed": self.searches_completed,
             "ticks": self.ticks,
             "elapsed_s": self.elapsed_s,
@@ -149,7 +312,12 @@ class RuntimeStats:
             "streams_decoded": self.streams_decoded,
             "crc_failure_rate": self.crc_failure_rate(),
             "goodput_bits_per_second": self.goodput_bps(),
+            "deadline_miss_rate": self.deadline_miss_rate(),
+            "degraded_crc_failure_rate": self.degraded_crc_failure_rate(),
         }
         if self._latencies:
             report["latency_percentiles_s"] = self.latency_percentiles()
+        if len(self._class_latencies) > 1:
+            report["latency_percentiles_by_class_s"] = (
+                self.class_latency_percentiles())
         return report

@@ -198,9 +198,11 @@ def test_node_budget_frames_stream_identically():
 @settings(max_examples=12, deadline=None)
 @given(data=st.data())
 def test_admission_order_invariance(data):
-    """The ISSUE-5 property: any submission permutation and any in-flight
-    budget yields per-frame results and counters bit-identical to
-    sequential ``decode_frame``."""
+    """The ISSUE-5 property, extended with ISSUE-7's QoS axes: any
+    submission permutation, in-flight budget, lane policy and priority
+    mix — with generous never-tripping deadlines sprinkled in — yields
+    per-frame results and counters bit-identical to sequential
+    ``decode_frame``."""
     rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1),
                                           label="seed"))
     hard = SphereDecoder(qam(4))
@@ -209,15 +211,24 @@ def test_admission_order_invariance(data):
     frames = []
     for _ in range(num_frames):
         is_soft = bool(rng.integers(2))
-        frames.append(_make_frame(soft if is_soft else hard,
-                                  int(rng.integers(2, 5)),
-                                  int(rng.integers(1, 4)),
-                                  float(rng.uniform(8.0, 20.0)), rng,
-                                  soft=is_soft, num_rx=3))
+        frame = _make_frame(soft if is_soft else hard,
+                            int(rng.integers(2, 5)),
+                            int(rng.integers(1, 4)),
+                            float(rng.uniform(8.0, 20.0)), rng,
+                            soft=is_soft, num_rx=3)
+        # QoS tags must never change results: random priority classes,
+        # and deadlines so generous they are always comfortably met.
+        frame.priority = int(rng.integers(0, 3))
+        if bool(rng.integers(2)):
+            frame.deadline_s = 3600.0
+        frames.append(frame)
     order = data.draw(st.permutations(range(num_frames)), label="order")
     budget = data.draw(st.integers(1, num_frames), label="max_in_flight")
     capacity = data.draw(st.integers(2, 32), label="capacity")
-    runtime = UplinkRuntime(capacity=capacity, max_in_flight=budget)
+    lane_policy = data.draw(st.sampled_from(["deadline", "fifo"]),
+                            label="lane_policy")
+    runtime = UplinkRuntime(capacity=capacity, max_in_flight=budget,
+                            lane_policy=lane_policy)
     handles = {}
     for index in order:
         handles[index] = runtime.submit(frames[index])
@@ -227,6 +238,7 @@ def test_admission_order_invariance(data):
                                              label="ticks"))
     runtime.drain()
     for index, frame in enumerate(frames):
+        assert not handles[index].degraded
         _assert_identical(handles[index].result(), _reference(frame),
                           frame.noise_variance is not None)
 
@@ -347,8 +359,11 @@ def test_stats_report_consistency():
     assert percentiles[50] <= percentiles[90] <= percentiles[99]
     assert summary["visited_nodes"] == sum(
         handle.result().counters.visited_nodes for handle in handles)
-    with pytest.raises(ValueError):
-        UplinkRuntime().stats.latency_percentiles()
+    # ISSUE-7 regression: an empty window returns an empty dict — a
+    # fresh runtime (or an unseen priority class) must be probeable
+    # without raising.
+    assert UplinkRuntime().stats.latency_percentiles() == {}
+    assert stats.latency_percentiles(priority=7) == {}
 
 
 # ----------------------------------------------------------------------
