@@ -1,0 +1,107 @@
+"""Two cells, one sharded detector farm, one service socket.
+
+This is ISSUE-8's subsystem end to end: a :class:`DetectorFarm` forks
+two supervised worker processes (each a resident
+:class:`~repro.runtime.session.UplinkRuntime` owning the kernel pools
+for the signatures routed to it), a :class:`CellSiteServer` puts the
+farm behind a local socket, and two independent cell-site generators
+stream their coded frames in through :class:`CellSiteClient` — the
+blocking ``submit`` carrying the farm's backpressure all the way back to
+each generator.
+
+Three things to watch in the output:
+
+* **Routing** — frames spread across both shards by search signature
+  (modulation x hard/soft x stream count), deterministically.
+* **Bit-exactness** — every payload's decode result is bit-identical to
+  standalone ``decode_frame`` in this process, even though it was
+  decoded in a forked worker (and some frames twice: see below).
+* **Supervision** — midway through, shard 0 is SIGKILLed.  The
+  supervisor detects the crash, restarts the worker and replays its
+  in-flight frames in admission order; nothing hangs, nothing is lost,
+  and the replayed frames' results are still exact (re-running the same
+  deterministic float program is the recovery story).
+
+Run:  python examples/cell_service.py
+"""
+
+import numpy as np
+
+from repro.runtime import CellWorkload, synthetic_cell_trace
+from repro.service import CellSiteClient, CellSiteServer, DetectorFarm
+
+FRAMES_PER_CELL = 8
+
+
+def _reference(frame):
+    if frame.noise_variance is None:
+        return frame.decoder.decode_frame(frame.channels, frame.received)
+    return frame.decoder.decode_frame(frame.channels, frame.received,
+                                      frame.noise_variance)
+
+
+def _cell_workload(rng):
+    trace = synthetic_cell_trace(num_links=4, num_subcarriers=16,
+                                 num_ap_antennas=4, num_clients=4, rng=rng)
+    return CellWorkload(trace, num_users=6, group_size=4,
+                        soft_fraction=0.25, snr_span_db=(15.0, 26.0),
+                        list_size=4, coded=True, payload_bits=56,
+                        rng=rng + 100)
+
+
+def main() -> None:
+    cells = [_cell_workload(3), _cell_workload(7)]
+    streams = [cell.frames(FRAMES_PER_CELL) for cell in cells]
+
+    farm = DetectorFarm(2, backend="process")
+    with CellSiteServer(farm) as server:
+        print(f"cell-site service on {server.address[0]}:{server.address[1]}"
+              f", farm of {farm.num_shards} worker shards")
+        clients = [CellSiteClient(server.address) for _ in cells]
+        ids = [{}, {}]
+        for position in range(FRAMES_PER_CELL):
+            for cell, (client, frames) in enumerate(zip(clients, streams)):
+                frame = frames[position]
+                ids[cell][client.submit(frame)] = frame
+            if position == FRAMES_PER_CELL // 2 - 1:
+                # Fault injection mid-stream: one shard dies hard.
+                farm.kill_shard(0)
+                print(f"  [after {position + 1} frames/cell] "
+                      "shard 0 SIGKILLed - supervisor replays its "
+                      "in-flight frames into a fresh worker")
+
+        payloads = [client.drain() for client in clients]
+        for cell, client in enumerate(clients):
+            owned = {payload["frame_id"] for payload in payloads[cell]}
+            assert owned == set(ids[cell]), "ownership leak across cells"
+            client.close()
+
+        exact = all(
+            payload["resolution"] == "completed"
+            and np.array_equal(
+                payload["result"].symbol_indices,
+                _reference(ids[cell][payload["frame_id"]]).symbol_indices)
+            and payload["result"].counters
+            == _reference(ids[cell][payload["frame_id"]]).counters
+            for cell in range(len(cells)) for payload in payloads[cell])
+        crc_ok = sum(
+            decision.crc_ok
+            for cell_payloads in payloads for payload in cell_payloads
+            for decision in payload["result"].decisions)
+
+        stats = farm.stats()
+        print(f"decoded {stats['frames_completed']} frames "
+              f"({crc_ok} CRC-passing streams), "
+              f"routed {stats['frames_routed']} across shards, "
+              f"restarts {stats['restarts']}")
+        print(f"bit-identical to standalone decode_frame "
+              f"(through fork, socket and one crash): {exact}")
+        print(f"farm goodput {stats['goodput_bits_per_second'] / 1e3:.1f} "
+              f"kbit/s aggregated over "
+              f"{len(stats['per_shard'])} shard ledgers")
+        assert exact
+        assert sum(stats["restarts"]) >= 1
+
+
+if __name__ == "__main__":
+    main()

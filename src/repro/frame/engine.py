@@ -135,13 +135,17 @@ def frame_decode_per_subcarrier(decoder, r_stack, y_hat) -> FrameDecodeResult:
 
 def _drain_element(decoder, kernel, element: int, lane: int, r, y_row, diag,
                    diag_sq, level, parent_flat, radius, chosen, path_cols,
-                   path_rows, best_cols, best_rows, best_dist, tallies):
+                   path_rows, best_cols, best_rows, best_dist, tallies,
+                   node_budget: int | None = None):
     """Finish one search's half-run tree at scalar speed.
 
     The frame twin of the per-subcarrier engine's drain: the stack of
     scalar enumerators is rebuilt from the element's *lane* slots while
     the path/parent state comes from its frame-wide element slots, and
     the continuation runs against the element's own subcarrier ``R``.
+    ``node_budget`` overrides the decoder's budget for the continuation
+    (the streaming runtime passes its per-lane — possibly
+    deadline-shrunken — budget through here).
     """
     ped, visited, expanded, leaves, prunes = tallies
     counters = ComplexityCounters(
@@ -166,7 +170,8 @@ def _drain_element(decoder, kernel, element: int, lane: int, r, y_row, diag,
         path_rows=path_rows[element].copy(),
         best_cols=best_cols[element].copy(),
         best_rows=best_rows[element].copy(),
-        best_distance=float(best_dist[element]))
+        best_distance=float(best_dist[element]),
+        node_budget=node_budget)
 
 
 def frame_decode_sphere(decoder, r_stack: np.ndarray, y_hat: np.ndarray, *,

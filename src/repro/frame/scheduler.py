@@ -58,6 +58,20 @@ class LanePool:
     def in_use(self) -> int:
         return self.capacity - len(self._free)
 
+    def grow(self, capacity: int) -> None:
+        """Add lanes ``[old capacity, capacity)`` to the pool (demand-grown
+        streaming pools).  The new lanes join the *bottom* of the free
+        stack, so previously existing free lanes still hand out first —
+        a pool that never needed to grow hands out the same lane sequence
+        as one built at full size, and lane identity never affects a
+        search's float program either way."""
+        require(capacity >= self.capacity,
+                f"cannot shrink lane pool from {self.capacity} to {capacity}")
+        if capacity == self.capacity:
+            return
+        self._free[:0] = list(range(capacity - 1, self.capacity - 1, -1))
+        self.capacity = capacity
+
     def take(self, count: int) -> np.ndarray:
         """Pop ``count`` free lanes (callers bound ``count`` by
         :attr:`free_lanes`)."""

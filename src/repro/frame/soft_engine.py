@@ -149,14 +149,17 @@ def frame_decode_soft_scalar(decoder, r_stack, y_hat,
 def _drain_soft_element(decoder, kernel, element: int, lane: int, r, y_row,
                         diag, diag_sq, level, parent_flat, radius, chosen,
                         path_cols, path_rows, list_d, list_seq, list_cols,
-                        list_rows, list_n, leaf_seq, tallies):
+                        list_rows, list_n, leaf_seq, tallies,
+                        node_budget: int | None = None):
     """Finish one slot's half-run list search at scalar speed.
 
     The soft twin of the hard engine's drain: the stack of scalar
     enumerators is rebuilt from the slot's lanes, the bounded leaf list
     becomes a real ``heapq`` again (same entries, same tuple order), and
     the continuation runs the scalar list-search loop against the slot's
-    own subcarrier ``R``.
+    own subcarrier ``R``.  ``node_budget`` overrides the decoder's budget
+    for the continuation (the streaming runtime passes its per-lane —
+    possibly deadline-shrunken — budget through here).
     """
     ped, visited, expanded, leaves, prunes = tallies
     counters = ComplexityCounters(
@@ -184,7 +187,8 @@ def _drain_soft_element(decoder, kernel, element: int, lane: int, r, y_row,
         path_cols=path_cols[element].copy(),
         path_rows=path_rows[element].copy(),
         leaf_heap=heap,
-        leaf_counter=int(leaf_seq[element]))
+        leaf_counter=int(leaf_seq[element]),
+        node_budget=node_budget)
 
 
 def frame_decode_soft(decoder, r_stack: np.ndarray, y_hat: np.ndarray,

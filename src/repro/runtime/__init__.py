@@ -35,7 +35,7 @@ from .cell import (
     synthetic_cell_trace,
 )
 from .decode import DecodeStage
-from .engine import LANE_POLICIES, StreamingFrontier
+from .engine import DEFAULT_INITIAL_LANES, LANE_POLICIES, StreamingFrontier
 from .queue import AdmissionQueue, FrameJob, FrameRequest
 from .session import (
     DEFAULT_MAX_IN_FLIGHT,
@@ -43,11 +43,12 @@ from .session import (
     PendingFrame,
     UplinkRuntime,
 )
-from .stats import RuntimeStats
+from .stats import RuntimeStats, aggregate_summaries
 
 __all__ = [
     "AdmissionQueue",
     "CellWorkload",
+    "DEFAULT_INITIAL_LANES",
     "DEFAULT_MAX_IN_FLIGHT",
     "DEFAULT_QOS_MIX",
     "DecodeStage",
@@ -60,5 +61,6 @@ __all__ = [
     "RuntimeStats",
     "StreamingFrontier",
     "UplinkRuntime",
+    "aggregate_summaries",
     "synthetic_cell_trace",
 ]

@@ -29,13 +29,17 @@ the pools share the runtime's global lane budget, so a mixed-constellation
 cell workload still keeps every lane busy.  A homogeneous workload — the
 benchmark's 16-QAM 4x4 stream — is exactly one pool.
 
-Each pool allocates its kernel and lane arrays at the full global
-capacity even though the shared budget means they can never all fill at
-once — a deliberate simplicity/memory trade (a few MB per signature at
-the 2048-lane default): enumerator kernels size their per-slot state at
-construction, so growing a pool on demand would mean migrating live
-kernel state between arrays mid-search.  Demand-grown pools are listed
-as ROADMAP headroom.
+Each pool allocates its kernel and lane arrays **on demand**: a pool
+starts at :data:`DEFAULT_INITIAL_LANES` lanes (or the global capacity if
+smaller) and grows geometrically whenever admission wants more lanes
+than it has allocated, up to the shared global budget — so shards ×
+signatures stays bounded by what the workload actually uses instead of
+``capacity`` lanes of kernel state per signature.  Growth is invisible
+to results: every array keeps its existing rows bit-for-bit (live
+searches carry over), new rows hold the construction fills that
+admission fully rewrites before use, and the new lanes join the bottom
+of the free stack so lane hand-out order — which never affects a
+search's float program anyway — matches a pool built at full size.
 """
 
 from __future__ import annotations
@@ -50,11 +54,15 @@ from ..frame.engine import (
 )
 from ..frame.scheduler import LanePool
 from ..frame.soft_engine import _drain_soft_element, insert_soft_leaves
-from ..sphere.batch_search import make_kernel
+from ..sphere.batch_search import _grown, make_kernel
 from ..utils.validation import require
 from .queue import AdmissionQueue, FrameJob
 
-__all__ = ["LANE_POLICIES", "StreamingFrontier"]
+__all__ = ["DEFAULT_INITIAL_LANES", "LANE_POLICIES", "StreamingFrontier"]
+
+#: Lanes a kernel pool allocates up front; pools grow geometrically on
+#: demand from here, capped by the engine's global lane budget.
+DEFAULT_INITIAL_LANES = 64
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -84,7 +92,7 @@ class _PoolBase:
     def __init__(self, engine: "StreamingFrontier",
                  template: FrameJob) -> None:
         decoder = template.decoder
-        capacity = engine.capacity
+        capacity = min(engine.capacity, engine.initial_lanes)
         num_streams = template.num_streams
         self.engine = engine
         self.decoder = decoder
@@ -93,11 +101,15 @@ class _PoolBase:
         self.node_budget = decoder.node_budget
         self.initial_radius_sq = decoder.initial_radius_sq
         if engine.drain_threshold is None:
+            # From the *global* capacity — the drain hand-off point is a
+            # latency trade-off, not an allocation detail, so it must not
+            # move when the pool grows.
             self.drain_threshold = max(1, min(DRAIN_THRESHOLD_CAP,
-                                              capacity // 6))
+                                              engine.capacity // 6))
         else:
             self.drain_threshold = engine.drain_threshold
         self.queue = AdmissionQueue(fifo=engine.lane_policy == "fifo")
+        self.allocated = capacity
         self.lanes = LanePool(capacity)
         self.active = _EMPTY
         # Per-lane node budget: the decoder's own budget normally, a
@@ -144,6 +156,44 @@ class _PoolBase:
     def has_work(self) -> bool:
         return bool(self.active.size or self.queue.pending)
 
+    # -- demand growth --------------------------------------------------
+    def _grow(self, capacity: int) -> None:
+        """Reallocate every lane-indexed array to ``capacity`` rows.
+
+        Existing rows are copied bit-for-bit (live searches keep their
+        state mid-search), new rows hold the construction fills — which
+        admission fully rewrites before any tick reads them — and the
+        kernel re-points its tally references at the reallocated
+        ``ped``/``prunes``, so growth cannot change any result.
+        """
+        self.lanes.grow(capacity)
+        self.lane_budget = _grown(self.lane_budget, capacity, _NO_BUDGET)
+        self.ped = _grown(self.ped, capacity)
+        self.visited = _grown(self.visited, capacity)
+        self.expanded = _grown(self.expanded, capacity)
+        self.leaves = _grown(self.leaves, capacity)
+        self.prunes = _grown(self.prunes, capacity)
+        self.tallies = (self.ped, self.visited, self.expanded, self.leaves,
+                        self.prunes)
+        self.kernel.grow(capacity * self.num_streams, self.ped, self.prunes)
+        self.job_of.extend([None] * (capacity - self.allocated))
+        self.elem_of = _grown(self.elem_of, capacity)
+        self.lane_r = _grown(self.lane_r, capacity)
+        self.lane_y = _grown(self.lane_y, capacity)
+        self.lane_diag = _grown(self.lane_diag, capacity, 1.0)
+        self.lane_diag_sq = _grown(self.lane_diag_sq, capacity, 1.0)
+        self.level = _grown(self.level, capacity)
+        self.radius = _grown(self.radius, capacity)
+        self.parent = _grown(self.parent, capacity)
+        self.path_cols = _grown(self.path_cols, capacity)
+        self.path_rows = _grown(self.path_rows, capacity)
+        self.chosen = _grown(self.chosen, capacity)
+        self.parent_flat = self.parent.reshape(-1)
+        self.path_cols_flat = self.path_cols.reshape(-1)
+        self.path_rows_flat = self.path_rows.reshape(-1)
+        self.chosen_flat = self.chosen.reshape(-1)
+        self.allocated = capacity
+
     # -- admission ------------------------------------------------------
     def _reset_lanes(self, lanes: np.ndarray) -> None:
         top = self.num_streams - 1
@@ -163,8 +213,15 @@ class _PoolBase:
 
     def _admit(self) -> None:
         """Refill free lanes from the frame-tagged queue."""
-        room = min(self.lanes.free_lanes, self.engine.free_budget,
-                   self.queue.pending)
+        want = min(self.engine.free_budget, self.queue.pending)
+        if want > self.lanes.free_lanes and self.allocated < self.engine.capacity:
+            # Demand growth: at least double (amortised-constant
+            # reallocation), at most the global budget, at least enough
+            # for everything admission wants right now.
+            in_lane = self.allocated - self.lanes.free_lanes
+            self._grow(min(self.engine.capacity,
+                           max(2 * self.allocated, in_lane + want)))
+        room = min(self.lanes.free_lanes, want)
         if room <= 0:
             return
         top = self.num_streams - 1
@@ -261,6 +318,17 @@ class _PoolBase:
             job.prunes[elements] = self.prunes[job_lanes]
             self._retire(job, job_lanes.size, completed)
         self._release(lanes)
+
+    def _drain_budget(self, lane: int) -> int | None:
+        """The node budget a drained lane's scalar continuation runs
+        under: the per-lane budget — which a degraded frame has shrunk —
+        or ``None`` for an unbudgeted, undegraded lane.  For undegraded
+        lanes of a budgeted decoder this equals the decoder's own budget,
+        so threading it through changes nothing; for degraded lanes it
+        closes the corner where a frame handed to the drain used to
+        finish at the decoder's full budget."""
+        budget = int(self.lane_budget[lane])
+        return None if budget == _NO_BUDGET else budget
 
     def _drain_tail(self, completed: list) -> None:
         """Finish the straggler tail at scalar speed (once the queue is
@@ -385,12 +453,18 @@ class _HardPool(_PoolBase):
 
     def __init__(self, engine, template) -> None:
         super().__init__(engine, template)
-        capacity = engine.capacity
+        capacity = self.allocated
         self.best_cols = np.full((capacity, self.num_streams), -1,
                                  dtype=np.int64)
         self.best_rows = np.full((capacity, self.num_streams), -1,
                                  dtype=np.int64)
         self.best_dist = np.full(capacity, np.inf)
+
+    def _grow(self, capacity: int) -> None:
+        super()._grow(capacity)
+        self.best_cols = _grown(self.best_cols, capacity, -1)
+        self.best_rows = _grown(self.best_rows, capacity, -1)
+        self.best_dist = _grown(self.best_dist, capacity, np.inf)
 
     def _reset_lanes(self, lanes) -> None:
         super()._reset_lanes(lanes)
@@ -429,7 +503,8 @@ class _HardPool(_PoolBase):
             job.y_flat[element], job.diag_stack[subcarrier],
             job.diag_sq_stack[subcarrier], self.level, self.parent_flat,
             self.radius, self.chosen, self.path_cols, self.path_rows,
-            self.best_cols, self.best_rows, self.best_dist, self.tallies)
+            self.best_cols, self.best_rows, self.best_dist, self.tallies,
+            node_budget=self._drain_budget(lane))
         job.found[element] = result.found
         job.indices[element] = result.symbol_indices
         job.symbols[element] = result.symbols
@@ -447,7 +522,7 @@ class _SoftPool(_PoolBase):
 
     def __init__(self, engine, template) -> None:
         super().__init__(engine, template)
-        capacity = engine.capacity
+        capacity = self.allocated
         list_size = template.decoder.list_size
         self.list_size = list_size
         self.list_d = np.full((capacity, list_size), np.inf)
@@ -458,6 +533,15 @@ class _SoftPool(_PoolBase):
                                   dtype=np.int64)
         self.list_n = np.zeros(capacity, dtype=np.int64)
         self.leaf_seq = np.zeros(capacity, dtype=np.int64)
+
+    def _grow(self, capacity: int) -> None:
+        super()._grow(capacity)
+        self.list_d = _grown(self.list_d, capacity, np.inf)
+        self.list_seq = _grown(self.list_seq, capacity)
+        self.list_cols = _grown(self.list_cols, capacity)
+        self.list_rows = _grown(self.list_rows, capacity)
+        self.list_n = _grown(self.list_n, capacity)
+        self.leaf_seq = _grown(self.leaf_seq, capacity)
 
     def _reset_lanes(self, lanes) -> None:
         super()._reset_lanes(lanes)
@@ -496,7 +580,8 @@ class _SoftPool(_PoolBase):
             job.diag_sq_stack[subcarrier], self.level, self.parent_flat,
             self.radius, self.chosen, self.path_cols, self.path_rows,
             self.list_d, self.list_seq, self.list_cols, self.list_rows,
-            self.list_n, self.leaf_seq, self.tallies)
+            self.list_n, self.leaf_seq, self.tallies,
+            node_budget=self._drain_budget(lane))
         # Write the continued search's list into the frame's slot arrays
         # so its frame-wide LLR extraction covers it too.
         job.list_n[element] = len(outcome.heap)
@@ -537,22 +622,33 @@ class StreamingFrontier:
         queued work first; ``"fifo"`` ignores priorities — the pre-QoS
         baseline.  Either way each search runs the same float program,
         so per-frame results are policy-independent.
+    initial_lanes:
+        Lanes each kernel pool allocates up front (default
+        :data:`DEFAULT_INITIAL_LANES`, clamped to ``capacity``); pools
+        grow geometrically on demand up to the global budget.  Purely an
+        allocation knob — growth is invisible to results.
     """
 
     def __init__(self, *, capacity: int | None = None,
                  drain_threshold: int | None = None,
-                 lane_policy: str = "deadline") -> None:
+                 lane_policy: str = "deadline",
+                 initial_lanes: int | None = None) -> None:
         if capacity is None:
             capacity = DEFAULT_LANE_CAPACITY
+        if initial_lanes is None:
+            initial_lanes = DEFAULT_INITIAL_LANES
         require(capacity >= 1, "streaming frontier needs at least one lane")
         require(drain_threshold is None or drain_threshold >= 0,
                 "drain threshold must be non-negative when given")
+        require(initial_lanes >= 1,
+                "pools need at least one initial lane")
         require(lane_policy in LANE_POLICIES,
                 f"unknown lane policy {lane_policy!r}; choose from "
                 f"{LANE_POLICIES}")
         self.capacity = capacity
         self.drain_threshold = drain_threshold
         self.lane_policy = lane_policy
+        self.initial_lanes = initial_lanes
         self.in_use = 0
         self._pools: dict[tuple, _PoolBase] = {}
 

@@ -159,6 +159,11 @@ class UplinkRuntime:
         :func:`repro.frame.engine.frame_decode_sphere`: the shared lane
         budget, and the straggler handoff point (default ``capacity //
         6`` capped at ``DRAIN_THRESHOLD_CAP = 32`` survivors).
+    initial_lanes:
+        Lanes each kernel pool allocates up front (default
+        :data:`~repro.runtime.engine.DEFAULT_INITIAL_LANES`); pools grow
+        geometrically on demand up to ``capacity``.  Purely an
+        allocation knob — growth is invisible to results.
     max_in_flight:
         In-flight frame budget (backpressure): ``submit`` blocks — by
         running the tick loop — while this many frames are unfinished.
@@ -192,6 +197,7 @@ class UplinkRuntime:
                  lane_policy: str = "deadline",
                  degrade_margin_s: float | None = None,
                  degraded_node_budget: int | None = None,
+                 initial_lanes: int | None = None,
                  clock=time.perf_counter) -> None:
         require(max_in_flight >= 1, "need an in-flight budget of at least 1")
         require(degrade_margin_s is None or degrade_margin_s >= 0.0,
@@ -200,7 +206,8 @@ class UplinkRuntime:
                 "degraded node budget must be positive when given")
         self._engine = StreamingFrontier(capacity=capacity,
                                          drain_threshold=drain_threshold,
-                                         lane_policy=lane_policy)
+                                         lane_policy=lane_policy,
+                                         initial_lanes=initial_lanes)
         self._decode = DecodeStage(viterbi_strategy)
         self.max_in_flight = max_in_flight
         self.lane_policy = lane_policy

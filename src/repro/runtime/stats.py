@@ -35,7 +35,7 @@ import numpy as np
 from ..sphere.counters import ComplexityCounters
 from ..utils.validation import require
 
-__all__ = ["RuntimeStats"]
+__all__ = ["RuntimeStats", "aggregate_summaries"]
 
 #: Per-frame latency samples retained for the percentile reports.  A
 #: bounded sliding window keeps a permanently-resident runtime's
@@ -310,6 +310,13 @@ class RuntimeStats:
             "visited_nodes": self.counters.visited_nodes,
             "ped_calcs": self.counters.ped_calcs,
             "streams_decoded": self.streams_decoded,
+            "streams_crc_ok": self.streams_crc_ok,
+            "payload_bits_ok": self.payload_bits_ok,
+            "degraded_streams_decoded": self.degraded_streams_decoded,
+            "degraded_streams_crc_ok": self.degraded_streams_crc_ok,
+            "deadline_frames_resolved": self.deadline_frames_resolved,
+            "deadline_frames_met": self.deadline_frames_met,
+            "deadline_near_misses": self.deadline_near_misses,
             "crc_failure_rate": self.crc_failure_rate(),
             "goodput_bits_per_second": self.goodput_bps(),
             "deadline_miss_rate": self.deadline_miss_rate(),
@@ -321,3 +328,62 @@ class RuntimeStats:
             report["latency_percentiles_by_class_s"] = (
                 self.class_latency_percentiles())
         return report
+
+
+#: ``summary()`` keys that sum exactly across concurrently running
+#: runtimes (the sharded farm's per-shard ledgers).
+_ADDITIVE_KEYS = (
+    "frames_submitted", "frames_completed", "frames_expired",
+    "frames_cancelled", "frames_degraded", "searches_completed", "ticks",
+    "visited_nodes", "ped_calcs", "streams_decoded", "streams_crc_ok",
+    "payload_bits_ok", "degraded_streams_decoded", "degraded_streams_crc_ok",
+    "deadline_frames_resolved", "deadline_frames_met",
+    "deadline_near_misses",
+)
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def aggregate_summaries(summaries: list[dict]) -> dict:
+    """Fold per-shard :meth:`RuntimeStats.summary` dicts into one
+    farm-level view.
+
+    Counts sum exactly; rates (frames/sec, goodput) sum because the
+    shards run *concurrently* — each shard's rate is over its own busy
+    time; ratio metrics (CRC failure, deadline misses) are recomputed
+    from the summed numerators and denominators rather than averaged, so
+    a busy shard weighs as much as its traffic; ``elapsed_s`` is the
+    busiest shard's busy time (wall clock, not CPU-seconds) and lane
+    occupancy is tick-weighted.  Latency percentiles cannot be merged
+    from percentiles, so per-shard reports keep them and the aggregate
+    omits them.
+    """
+    report: dict = {"shards": len(summaries)}
+    for key in _ADDITIVE_KEYS:
+        report[key] = sum(summary.get(key, 0) for summary in summaries)
+    report["elapsed_s"] = max(
+        (summary.get("elapsed_s", 0.0) for summary in summaries),
+        default=0.0)
+    report["frames_per_second"] = sum(
+        summary.get("frames_per_second", 0.0) for summary in summaries)
+    report["goodput_bits_per_second"] = sum(
+        summary.get("goodput_bits_per_second", 0.0)
+        for summary in summaries)
+    report["mean_lane_occupancy"] = _ratio(
+        sum(summary.get("mean_lane_occupancy", 0.0) * summary.get("ticks", 0)
+            for summary in summaries), report["ticks"])
+    report["crc_failure_rate"] = 1.0 - _ratio(
+        report["streams_crc_ok"], report["streams_decoded"]) if (
+        report["streams_decoded"]) else 0.0
+    report["degraded_crc_failure_rate"] = 1.0 - _ratio(
+        report["degraded_streams_crc_ok"],
+        report["degraded_streams_decoded"]) if (
+        report["degraded_streams_decoded"]) else 0.0
+    report["deadline_miss_rate"] = _ratio(
+        report["frames_expired"] + report["deadline_near_misses"],
+        report["deadline_frames_resolved"])
+    return report

@@ -1,0 +1,45 @@
+"""Sharded detector farm behind a cell-site service API.
+
+This package scales the streaming runtime past one process: a
+:class:`DetectorFarm` partitions the per-signature kernel pools across
+supervised worker processes (deterministic signature routing, so each
+shard's admission order is reproducible), and a :class:`CellSiteServer`
+puts the farm behind a local socket so many cells stream frames into one
+farm with backpressure and QoS preserved end to end.  The standing
+bit-exactness contract extends across the farm: for any shard count and
+either lane policy, every frame's results, LLRs and complexity counters
+are bit-identical to a single-process
+:class:`~repro.runtime.session.UplinkRuntime` and to standalone
+``decode_frame``.
+
+Layering (each module only reaches down):
+
+``protocol``   signatures, routing hash, wire framing
+``worker``     :class:`ShardRuntime` (the shared shard brain) +
+               ``worker_main`` child loop
+``supervisor`` process spawning, heartbeat/hang/crash detection,
+               ledger replay
+``router``     :class:`DetectorFarm` — submit/poll/cancel/stats over
+               shards
+``server``     :class:`CellSiteServer` — the farm on a socket
+``client``     :class:`CellSiteClient` — a cell's blocking facade
+"""
+
+from .client import CellSiteClient
+from .protocol import request_signature, shard_for
+from .router import DetectorFarm, FarmHandle
+from .server import CellSiteServer
+from .supervisor import ShardSupervisor
+from .worker import ShardRuntime, worker_main
+
+__all__ = [
+    "CellSiteClient",
+    "CellSiteServer",
+    "DetectorFarm",
+    "FarmHandle",
+    "ShardRuntime",
+    "ShardSupervisor",
+    "request_signature",
+    "shard_for",
+    "worker_main",
+]

@@ -1,0 +1,100 @@
+"""Cell-site client: a cell's blocking facade over the service socket.
+
+One :class:`CellSiteClient` per cell (or per
+:class:`~repro.runtime.cell.CellWorkload` generator): ``submit`` streams
+frames in — blocking while the farm exerts backpressure — and ``poll``
+/ ``drain`` bring back payload dicts for *this client's* frames only.
+Results arrive as the same objects a local
+:class:`~repro.runtime.session.UplinkRuntime` resolves
+(:class:`FrameDecodeResult` / :class:`SoftFrameResult`, CRC decisions
+attached), pickled across the local socket, so code written against the
+runtime's results runs unchanged against the service.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..utils.validation import require
+from .protocol import recv_obj, send_obj
+
+__all__ = ["CellSiteClient"]
+
+
+class CellSiteClient:
+    """Blocking client for :class:`~repro.service.server.CellSiteServer`.
+
+    Not thread-safe: one client per connection per thread — cells are
+    independent, so give each its own client (that is the point of the
+    service front).
+    """
+
+    def __init__(self, address: tuple) -> None:
+        self._sock = socket.create_connection(tuple(address))
+        self._outstanding: set[int] = set()
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "CellSiteClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, *message) -> object:
+        send_obj(self._sock, message)
+        status, value = recv_obj(self._sock)
+        require(status == "ok", f"service error: {value}")
+        return value
+
+    # -- the service verbs -----------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Frames submitted but not yet returned by a poll."""
+        return len(self._outstanding)
+
+    def submit(self, request) -> int:
+        """Stream one frame in; returns its farm frame id.  Blocks while
+        the farm's outstanding budget is full — backpressure reaches
+        from the shard lanes all the way back to the generator."""
+        frame_id = self._call("submit", request)
+        self._outstanding.add(frame_id)
+        return frame_id
+
+    def poll(self) -> list[dict]:
+        """Resolved payloads for this client's frames (may be empty).
+        Each dict carries ``frame_id``, ``resolution``, QoS flags,
+        ``latency_s`` and — for completed frames — the decode
+        ``result``."""
+        payloads = self._call("poll")
+        for payload in payloads:
+            self._outstanding.discard(payload["frame_id"])
+        return payloads
+
+    def drain(self, *, poll_interval_s: float = 0.002) -> list[dict]:
+        """Poll until every submitted frame resolves.  Worker crashes
+        surface as ``"expired"`` payloads, so a drain never hangs."""
+        payloads = []
+        while self._outstanding:
+            got = self.poll()
+            payloads.extend(got)
+            if not got:
+                time.sleep(poll_interval_s)
+        return payloads
+
+    def cancel(self, frame_id: int) -> bool:
+        """Cancel one of this client's unresolved frames."""
+        cancelled = self._call("cancel", frame_id)
+        if cancelled:
+            self._outstanding.discard(frame_id)
+        return bool(cancelled)
+
+    def stats(self) -> dict:
+        """The farm-level stats view (aggregated shard ledgers)."""
+        return self._call("stats")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass

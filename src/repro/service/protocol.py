@@ -1,0 +1,101 @@
+"""Wire protocol and deterministic routing for the detector farm.
+
+Two small, load-bearing pieces live here:
+
+**Routing.**  The farm partitions work by *search signature* — the same
+key :meth:`repro.runtime.engine.StreamingFrontier._pool_key` groups
+kernel pools by (hard/soft, stream count, constellation, enumerator,
+pruning, budgets, list size) — so every frame of one signature always
+lands on the same shard and its per-signature kernel pool lives in
+exactly one worker process.  The shard index comes from a *keyed* stable
+hash (:func:`shard_for`, BLAKE2b), **not** Python's builtin ``hash``,
+which is salted per process and would route differently on every run;
+determinism is what makes admission order within a shard reproducible
+and the farm's bit-exactness contract testable.
+
+**Framing.**  The cell-site service front speaks length-prefixed pickle
+over a local stream socket (:func:`send_obj` / :func:`recv_obj`).  This
+is a trusted single-host IPC link between the AP front and its own
+compute farm — the same trust boundary as ``multiprocessing``'s own
+pickle-based pipes — not an internet-facing protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+
+from ..utils.validation import require
+
+__all__ = ["recv_obj", "request_signature", "send_obj", "shard_for"]
+
+#: Length-prefix layout: one unsigned 32-bit big-endian byte count.
+_HEADER = struct.Struct("!I")
+
+
+def request_signature(request) -> tuple:
+    """The kernel-pool signature of a :class:`FrameRequest`.
+
+    Field-for-field the key ``StreamingFrontier._pool_key`` builds from
+    an admitted :class:`FrameJob`, derived here without paying the job's
+    QR preprocessing — routing happens *before* the frame reaches any
+    runtime.
+    """
+    decoder = request.decoder
+    if hasattr(decoder, "_continue_search_soft"):
+        kind = "soft"
+    else:
+        require(hasattr(decoder, "_continue_search"),
+                f"decoder {type(decoder).__name__} is not a sphere decoder")
+        kind = "hard"
+    num_streams = int(request.channels.shape[2])
+    key = (kind, num_streams, decoder.constellation.levels.tobytes(),
+           decoder.enumerator, decoder.geometric_pruning,
+           decoder.node_budget, decoder.initial_radius_sq)
+    if kind == "soft":
+        key += (decoder.list_size,)
+    return key
+
+
+def shard_for(signature: tuple, num_shards: int) -> int:
+    """Deterministically map a signature to a shard in ``[0, num_shards)``.
+
+    Stable across processes and runs (unlike builtin ``hash``), so a
+    frame's shard — and therefore the admission order each shard's
+    runtime sees — depends only on the workload, never on interpreter
+    hash salting.
+    """
+    require(num_shards >= 1, "farm needs at least one shard")
+    digest = hashlib.blake2b(repr(signature).encode(),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+def send_obj(sock, obj) -> None:
+    """Pickle ``obj`` and send it length-prefixed on a stream socket."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            raise ConnectionError("peer closed mid-message")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_obj(sock):
+    """Receive one length-prefixed pickled object; raises
+    :class:`ConnectionError` on a half-read (peer died mid-message) and
+    :class:`EOFError` on a clean close between messages."""
+    try:
+        header = _recv_exact(sock, _HEADER.size)
+    except ConnectionError:
+        raise EOFError("connection closed") from None
+    (length,) = _HEADER.unpack(header)
+    return pickle.loads(_recv_exact(sock, length))

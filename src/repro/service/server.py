@@ -1,0 +1,142 @@
+"""Cell-site service front: the farm behind a local stream socket.
+
+Many cells, one farm: each cell-site generator connects a
+:class:`~repro.service.client.CellSiteClient` and streams its frames in;
+the server multiplexes every connection onto one shared
+:class:`~repro.service.router.DetectorFarm`.  The wire verbs mirror the
+farm's — ``submit``/``poll``/``cancel``/``stats`` — as synchronous
+request/response pairs (length-prefixed pickle,
+:mod:`repro.service.protocol`), so a client is a thin blocking facade
+and all concurrency lives server-side: one accept loop, one thread per
+connection, the farm itself guarded by a lock.
+
+Frame **ownership is per connection**: ``poll`` returns only frames the
+polling client submitted, and a connection that drops takes its
+unresolved frames with it (cancelled server-side) — one departed cell
+cannot strand work or leak another cell's results.  Backpressure is
+end-to-end: ``submit`` replies only after the farm accepted the frame,
+and the farm's ``max_outstanding`` bound makes that reply wait when the
+shards are saturated, so a fast cell slows down instead of ballooning
+the queue.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from .protocol import recv_obj, send_obj
+from .router import DetectorFarm
+
+__all__ = ["CellSiteServer"]
+
+
+class CellSiteServer:
+    """Serve a :class:`DetectorFarm` on a local TCP socket.
+
+    The server owns neither the farm's creation arguments nor its
+    lifetime policy — pass a constructed farm in, and ``close()`` (or
+    the context manager) shuts both down.  ``address`` is the bound
+    ``(host, port)``; port 0 picks a free ephemeral port, which is what
+    the tests and the example use.
+    """
+
+    def __init__(self, farm: DetectorFarm, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.farm = farm
+        self._lock = threading.Lock()
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()
+        self._running = True
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="cell-site-accept", daemon=True)
+        self._accept_thread.start()
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "CellSiteServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- connection handling ---------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return                        # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="cell-site-conn", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        # This connection's frames: farm frame_id -> handle, plus the
+        # resolved-but-not-yet-polled buffer.
+        owned: dict[int, object] = {}
+        ready: list[object] = []
+        try:
+            while True:
+                message = recv_obj(conn)
+                reply = self._dispatch(message, owned, ready)
+                send_obj(conn, reply)
+        except (EOFError, ConnectionError, OSError):
+            pass
+        finally:
+            with self._lock:
+                for handle in owned.values():
+                    if not handle.done:
+                        self.farm.cancel(handle)
+            conn.close()
+
+    def _collect(self, owned: dict, ready: list) -> None:
+        """Service the farm once; stash this connection's resolutions.
+
+        Resolutions for *other* connections are applied to their handles
+        by the farm either way — their ``poll`` finds them done on the
+        next ``_collect``."""
+        self.farm.pump()
+        for frame_id in [frame_id for frame_id, handle in owned.items()
+                         if handle.done]:
+            ready.append(owned.pop(frame_id))
+
+    def _dispatch(self, message: tuple, owned: dict, ready: list) -> tuple:
+        op = message[0]
+        with self._lock:
+            if op == "submit":
+                handle = self.farm.submit(message[1])
+                owned[handle.frame_id] = handle
+                return ("ok", handle.frame_id)
+            if op == "poll":
+                self._collect(owned, ready)
+                payloads = [{
+                    "frame_id": handle.frame_id,
+                    "resolution": handle.resolution,
+                    "degraded": handle.degraded,
+                    "missed_deadline": handle.missed_deadline,
+                    "latency_s": handle.latency_s,
+                    "result": (handle.result() if handle.resolution
+                               == "completed" else None),
+                } for handle in ready]
+                ready.clear()
+                return ("ok", payloads)
+            if op == "cancel":
+                handle = owned.pop(message[1], None)
+                return ("ok", handle is not None
+                        and self.farm.cancel(handle))
+            if op == "stats":
+                return ("ok", self.farm.stats())
+            return ("error", f"unknown op {op!r}")
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting, drop the listener, shut the farm down."""
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.farm.close()

@@ -1,0 +1,247 @@
+"""Worker supervision: spawn, watch, restart, and re-route shard work.
+
+The farm's liveness story lives here.  Every shard runs
+:func:`~repro.service.worker.worker_main` in a forked child, and the
+supervisor keeps, per shard, an **in-flight ledger** — every frame
+dispatched but not yet reported done, in admission order, with its
+arrival time.  That ledger is what makes worker death survivable without
+lying: when a shard is declared failed, its ledger is replayed in the
+original admission order into a fresh worker (deadline budgets shrunk by
+the time already spent), except frames whose deadline has already passed
+— those resolve through the existing ``FrameExpired`` path.  Nothing
+hangs, nothing is silently dropped, and no result is fabricated:
+re-decoding a frame from scratch runs the same deterministic float
+program, so a recovered frame's result is the result.
+
+Failure is detected two ways:
+
+* **crash** — ``Process.is_alive()`` is false or the pipe raises
+  ``EOFError`` (the fault-injection tests SIGKILL workers mid-frame to
+  force exactly this);
+* **hang** — the worker hasn't sent *anything* (heartbeat, result or
+  stats reply) for ``hang_timeout_s`` while its ledger is non-empty.
+  Heartbeats are sent from inside the worker's service loop, so a
+  worker stuck in a syscall or spinning outside the loop goes quiet and
+  trips this.
+
+A shard that keeps dying burns through ``max_restarts``; after that its
+ledger frames expire instead of being replayed — a liveness backstop so
+a poisonous workload degrades into explicit ``FrameExpired`` resolutions
+rather than a restart loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+
+from ..utils.validation import require
+from .worker import DEFAULT_HEARTBEAT_S, worker_main
+
+__all__ = ["ShardSupervisor"]
+
+#: Shard restarts allowed before its in-flight frames expire instead.
+DEFAULT_MAX_RESTARTS = 5
+
+#: Quiet time (seconds) after which a shard with in-flight work is
+#: declared hung.  Generous relative to the heartbeat period: a healthy
+#: worker beats every DEFAULT_HEARTBEAT_S even mid-burst.
+DEFAULT_HANG_TIMEOUT_S = 5.0
+
+
+class _Worker:
+    """One shard's process and pipe endpoint."""
+
+    def __init__(self, shard_id: int, runtime_kwargs: dict | None,
+                 heartbeat_s: float) -> None:
+        context = multiprocessing.get_context("fork")
+        self.conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=worker_main,
+            args=(shard_id, child_conn, runtime_kwargs, heartbeat_s),
+            daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.last_seen = time.monotonic()
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        self.conn.close()
+
+
+class ShardSupervisor:
+    """Spawn and babysit ``num_shards`` worker processes.
+
+    The router talks to shards only through this class: ``submit`` and
+    ``cancel`` write the command pipes (and maintain the ledgers),
+    ``pump`` drains results and runs failure detection, ``stats``
+    gathers per-shard summaries.  Expired-by-the-supervisor frames come
+    back from ``pump`` as ordinary payload dicts with
+    ``resolution="expired"``, indistinguishable to the router from a
+    worker-side deadline expiry.
+    """
+
+    def __init__(self, num_shards: int, *, runtime_kwargs: dict | None = None,
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+                 hang_timeout_s: float = DEFAULT_HANG_TIMEOUT_S,
+                 max_restarts: int = DEFAULT_MAX_RESTARTS) -> None:
+        require(num_shards >= 1, "farm needs at least one shard")
+        require(hang_timeout_s > heartbeat_s,
+                "hang timeout must exceed the heartbeat period")
+        self.num_shards = num_shards
+        self.runtime_kwargs = runtime_kwargs
+        self.heartbeat_s = heartbeat_s
+        self.hang_timeout_s = hang_timeout_s
+        self.max_restarts = max_restarts
+        self.restarts = [0] * num_shards
+        # Per-shard in-flight ledger: farm frame_id -> (request, enqueued
+        # monotonic time), in admission order (dicts preserve insertion).
+        self._ledger: list[dict[int, tuple]] = [
+            {} for _ in range(num_shards)]
+        self._workers = [_Worker(shard, runtime_kwargs, heartbeat_s)
+                         for shard in range(num_shards)]
+        self._stashed: list[tuple] = []
+
+    # -- dispatch -------------------------------------------------------
+    def outstanding(self, shard: int) -> int:
+        return len(self._ledger[shard])
+
+    def submit(self, shard: int, frame_id: int, request) -> None:
+        self._ledger[shard][frame_id] = (request, time.monotonic())
+        self._send(shard, ("submit", frame_id, request))
+
+    def cancel(self, shard: int, frame_id: int) -> None:
+        if self._ledger[shard].pop(frame_id, None) is not None:
+            self._send(shard, ("cancel", frame_id))
+
+    def _send(self, shard: int, message: tuple) -> None:
+        try:
+            self._workers[shard].conn.send(message)
+        except (BrokenPipeError, OSError):
+            pass          # pump()'s failure detection recovers the shard
+
+    # -- results + failure detection ------------------------------------
+    def pump(self) -> list[dict]:
+        """Drain every shard's pipe; detect and recover failures.
+
+        Returns resolved payload dicts (worker results, worker-side
+        expiries and supervisor-side expiries alike).  Never blocks.
+        """
+        payloads = []
+        for kind, shard, payload in self._stashed:
+            if kind == "done" and self._ledger[shard].pop(
+                    payload["frame_id"], None) is not None:
+                payloads.append(payload)
+        self._stashed.clear()
+        now = time.monotonic()
+        for shard, worker in enumerate(self._workers):
+            payloads.extend(self._drain_shard(shard, worker))
+        for shard, worker in enumerate(self._workers):
+            crashed = not worker.process.is_alive()
+            hung = (self._ledger[shard]
+                    and now - worker.last_seen > self.hang_timeout_s)
+            if crashed or hung:
+                payloads.extend(self._recover(
+                    shard, "crashed" if crashed else "hung"))
+        return payloads
+
+    def _drain_shard(self, shard: int, worker: _Worker) -> list[dict]:
+        payloads = []
+        try:
+            while worker.conn.poll(0):
+                message = worker.conn.recv()
+                worker.last_seen = time.monotonic()
+                if message[0] == "done":
+                    payload = message[2]
+                    # Drop results for frames the ledger no longer owns
+                    # (cancelled, or already expired by recovery).
+                    if self._ledger[shard].pop(payload["frame_id"],
+                                               None) is not None:
+                        payloads.append(payload)
+                elif message[0] == "stats":
+                    self._stashed.append(message)
+        except (EOFError, OSError):
+            pass          # crash detection below restarts the shard
+        return payloads
+
+    def _recover(self, shard: int, reason: str) -> list[dict]:
+        """Replace a failed worker; replay or expire its ledger."""
+        worker = self._workers[shard]
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=1.0)
+        worker.conn.close()
+        self.restarts[shard] += 1
+        ledger = self._ledger[shard]
+        self._ledger[shard] = {}
+        self._workers[shard] = _Worker(shard, self.runtime_kwargs,
+                                       self.heartbeat_s)
+        now = time.monotonic()
+        exhausted = self.restarts[shard] > self.max_restarts
+        payloads = []
+        for frame_id, (request, enqueued) in ledger.items():
+            elapsed = now - enqueued
+            overdue = (request.deadline_s is not None
+                       and elapsed >= request.deadline_s)
+            if exhausted or overdue:
+                payloads.append({
+                    "frame_id": frame_id, "resolution": "expired",
+                    "degraded": False, "missed_deadline": True,
+                    "latency_s": None, "result": None,
+                })
+                continue
+            if request.deadline_s is not None:
+                # The replayed frame keeps its original wall-clock
+                # budget: shrink the deadline by the time already spent.
+                request = dataclasses.replace(
+                    request, deadline_s=request.deadline_s - elapsed)
+            self._ledger[shard][frame_id] = (request, enqueued)
+            self._send(shard, ("submit", frame_id, request))
+        return payloads
+
+    # -- stats ----------------------------------------------------------
+    def stats(self, timeout_s: float = 2.0) -> list[dict | None]:
+        """Per-shard ``RuntimeStats.summary()`` dicts (``None`` for a
+        shard that failed to answer in time).  Results arriving while
+        waiting are stashed for the next :meth:`pump`."""
+        for shard in range(self.num_shards):
+            self._send(shard, ("stats",))
+        replies: list[dict | None] = [None] * self.num_shards
+        deadline = time.monotonic() + timeout_s
+        while (any(reply is None for reply in replies)
+               and time.monotonic() < deadline):
+            progressed = False
+            for shard, worker in enumerate(self._workers):
+                try:
+                    while worker.conn.poll(0):
+                        message = worker.conn.recv()
+                        worker.last_seen = time.monotonic()
+                        if message[0] == "stats":
+                            replies[shard] = message[2]
+                        elif message[0] == "done":
+                            self._stashed.append(message)
+                        progressed = True
+                except (EOFError, OSError):
+                    break
+            if not progressed:
+                time.sleep(self.heartbeat_s / 4)
+        return replies
+
+    # -- lifecycle ------------------------------------------------------
+    def kill_shard(self, shard: int) -> None:
+        """SIGKILL one worker (fault injection); the next :meth:`pump`
+        detects the crash and recovers its ledger."""
+        self._workers[shard].process.kill()
+        self._workers[shard].process.join(timeout=1.0)
+
+    def close(self) -> None:
+        for worker in self._workers:
+            worker.stop()

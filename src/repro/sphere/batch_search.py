@@ -83,6 +83,16 @@ __all__ = ["frontier_decode_batch", "make_kernel", "FRONTIER_MIN_BATCH"]
 FRONTIER_MIN_BATCH = 5
 
 
+def _grown(array: np.ndarray, rows: int, fill=0) -> np.ndarray:
+    """Reallocate ``array`` to ``rows`` leading rows: existing rows are
+    copied (live per-slot state carries over bit-for-bit), new rows get
+    ``fill`` — the same value construction used, and ``init`` fully
+    rewrites a row before anything reads it."""
+    out = np.full((rows,) + array.shape[1:], fill, dtype=array.dtype)
+    out[:array.shape[0]] = array
+    return out
+
+
 def _rebuild_axis(indices: np.ndarray, residual_sq: np.ndarray,
                   size: int) -> AxisOrder:
     """Materialise an :class:`AxisOrder` from kernel state arrays.
@@ -119,6 +129,20 @@ class _KernelBase:
         self.res_i = np.zeros((num_slots, side), dtype=np.float64)
         self.ord_q = np.zeros((num_slots, side), dtype=np.int64)
         self.res_q = np.zeros((num_slots, side), dtype=np.float64)
+        self._iota = np.arange(num_slots, dtype=np.int64)
+
+    def grow(self, num_slots: int, ped: np.ndarray,
+             prunes: np.ndarray) -> None:
+        """Extend per-slot state to ``num_slots`` rows (demand-grown
+        pools).  Existing rows are copied so live searches carry over
+        bit-for-bit; ``ped``/``prunes`` re-point the element tallies the
+        caller reallocated alongside the kernel."""
+        self.ped = ped
+        self.prunes = prunes
+        self.ord_i = _grown(self.ord_i, num_slots)
+        self.res_i = _grown(self.res_i, num_slots)
+        self.ord_q = _grown(self.ord_q, num_slots)
+        self.res_q = _grown(self.res_q, num_slots)
         self._iota = np.arange(num_slots, dtype=np.int64)
 
     def init_axes(self, slots: np.ndarray, points: np.ndarray) -> None:
@@ -186,6 +210,19 @@ class _ZigzagKernel(_KernelBase):
 
     def _capacity(self, side: int) -> int:
         return side + self.capacity_slack
+
+    def grow(self, num_slots: int, ped, prunes) -> None:
+        super().grow(num_slots, ped, prunes)
+        if self.table is not None:
+            self.off_i = _grown(self.off_i, num_slots)
+            self.off_q = _grown(self.off_q, num_slots)
+        self.heap_d = _grown(self.heap_d, num_slots, np.inf)
+        self.heap_i = _grown(self.heap_i, num_slots)
+        self.heap_j = _grown(self.heap_j, num_slots)
+        self.heap_n = _grown(self.heap_n, num_slots)
+        self.last_i = _grown(self.last_i, num_slots)
+        self.last_j = _grown(self.last_j, num_slots)
+        self.has_last = _grown(self.has_last, num_slots)
 
     def init_axes(self, slots: np.ndarray, points: np.ndarray) -> None:
         count = points.shape[0]
@@ -363,6 +400,10 @@ class _ShabanyKernel(_ZigzagKernel):
     def _capacity(self, side: int) -> int:
         return 2 * side + self.capacity_slack
 
+    def grow(self, num_slots: int, ped, prunes) -> None:
+        super().grow(num_slots, ped, prunes)
+        self.seen = _grown(self.seen, num_slots)
+
     def init(self, slots, elements, points) -> None:
         super().init(slots, elements, points)
         self.seen[slots] = False
@@ -430,6 +471,12 @@ class _HessKernel(_KernelBase):
         self.row_position = np.zeros((num_slots, side), dtype=np.int64)
         self.row_distance = np.zeros((num_slots, side), dtype=np.float64)
         self.pending = np.full(num_slots, -1, dtype=np.int64)
+
+    def grow(self, num_slots: int, ped, prunes) -> None:
+        super().grow(num_slots, ped, prunes)
+        self.row_position = _grown(self.row_position, num_slots)
+        self.row_distance = _grown(self.row_distance, num_slots)
+        self.pending = _grown(self.pending, num_slots, -1)
 
     def init(self, slots, elements, points) -> None:
         self.init_axes(slots, points)
@@ -501,6 +548,13 @@ class _ExhaustiveKernel(_KernelBase):
         self.cand_col = np.zeros((num_slots, grid), dtype=np.int64)
         self.cand_row = np.zeros((num_slots, grid), dtype=np.int64)
         self.cursor = np.zeros(num_slots, dtype=np.int64)
+
+    def grow(self, num_slots: int, ped, prunes) -> None:
+        super().grow(num_slots, ped, prunes)
+        self.cand_d = _grown(self.cand_d, num_slots)
+        self.cand_col = _grown(self.cand_col, num_slots)
+        self.cand_row = _grown(self.cand_row, num_slots)
+        self.cursor = _grown(self.cursor, num_slots)
 
     def init(self, slots, elements, points) -> None:
         self.init_axes(slots, points)

@@ -361,18 +361,24 @@ class SphereDecoder:
                          diag: np.ndarray, diag_sq: np.ndarray,
                          make_enumerator, *, stack, radius_sq, counters,
                          chosen_symbols, path_cols, path_rows, best_cols,
-                         best_rows, best_distance) -> SphereDecoderResult:
+                         best_rows, best_distance,
+                         node_budget: int | None = None) -> SphereDecoderResult:
         """Run the depth-first loop from an explicit mid-search state.
 
         :meth:`_search` seeds it with a fresh root; the frontier engine
         (:mod:`repro.sphere.batch_search`) seeds it with a reconstructed
         stack when it drains straggler observations out of the lockstep
         batch, so both callers execute the *same* loop body and stay
-        bit-identical.
+        bit-identical.  ``node_budget`` overrides the decoder's own budget
+        for this continuation — the streaming runtime passes the (possibly
+        deadline-shrunken) per-lane budget so a degraded frame drained
+        through the scalar path stops at the same cap the lockstep lanes
+        enforce.
         """
         num_streams = r.shape[1]
         levels = self.constellation.levels
-        node_budget = self.node_budget
+        if node_budget is None:
+            node_budget = self.node_budget
         while stack:
             if node_budget is not None and counters.visited_nodes >= node_budget:
                 break

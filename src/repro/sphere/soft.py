@@ -368,8 +368,9 @@ class ListSphereDecoder:
     def _continue_search_soft(self, r: np.ndarray, y_hat, diag: np.ndarray,
                               diag_sq: np.ndarray, make_enumerator, *, stack,
                               radius_sq, counters, chosen_symbols, path_cols,
-                              path_rows, leaf_heap,
-                              leaf_counter) -> _ListSearchState:
+                              path_rows, leaf_heap, leaf_counter,
+                              node_budget: int | None = None
+                              ) -> _ListSearchState:
         """Run the list-search loop from an explicit mid-search state.
 
         :meth:`_search_soft` seeds it with a fresh root; the frame engine
@@ -380,12 +381,17 @@ class ListSphereDecoder:
         :meth:`~repro.sphere.decoder.SphereDecoder._continue_search`
         under a different radius policy: leaves land in a bounded
         max-heap, and once the heap is full the sphere shrinks to its
-        worst member instead of the single best leaf.
+        worst member instead of the single best leaf.  ``node_budget``
+        overrides the decoder's own budget for this continuation — the
+        streaming runtime passes the (possibly deadline-shrunken)
+        per-lane budget so a degraded frame drained through the scalar
+        path stops at the same cap the lockstep lanes enforce.
         """
         num_streams = r.shape[1]
         levels = self.constellation.levels
         list_size = self.list_size
-        node_budget = self.node_budget
+        if node_budget is None:
+            node_budget = self.node_budget
         while stack:
             if node_budget is not None and counters.visited_nodes >= node_budget:
                 break

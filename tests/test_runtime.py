@@ -639,3 +639,86 @@ def test_detect_uplink_forwards_engine_knobs():
                       SphereDetector(SphereDecoder(qam(16),
                                                    batch_strategy="loop")),
                       0.1, capacity=3)
+
+
+# ----------------------------------------------------------------------
+# Demand-grown kernel pools (ISSUE-8 satellite)
+# ----------------------------------------------------------------------
+
+def test_demand_grown_pools_are_invisible_to_results():
+    """A runtime that starts with a tiny lane allocation grows its pools
+    geometrically under load — and the growth must be pure capacity:
+    results and counters bit-identical to an eagerly-allocated runtime,
+    for hard and soft pools alike."""
+    rng = np.random.default_rng(21)
+    decoder = SphereDecoder(qam(16))
+    soft_decoder = ListSphereDecoder(qam(16), list_size=4)
+    frames = [_make_frame(decoder, 8, 3, 14.0, rng),
+              _make_frame(soft_decoder, 6, 3, 14.0, rng, soft=True),
+              _make_frame(decoder, 8, 2, 20.0, rng)]
+    runtime = UplinkRuntime(capacity=64, max_in_flight=3, initial_lanes=2)
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    pools = list(runtime._engine._pools.values())
+    assert pools, "the sweep must have instantiated kernel pools"
+    assert all(pool.allocated > 2 for pool in pools), (
+        "the workload must actually force growth")
+    assert all(pool.allocated <= 64 for pool in pools)
+    for frame, handle in zip(frames, handles):
+        _assert_identical(handle.result(), _reference(frame),
+                          frame.noise_variance is not None)
+
+    with pytest.raises(ValueError):
+        UplinkRuntime(initial_lanes=0)
+
+
+# ----------------------------------------------------------------------
+# The detector farm inherits the contract (ISSUE-8 tentpole)
+# ----------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_farm_shard_counts_bit_identical(data):
+    """The ISSUE-8 acceptance sweep: for shard counts {1, 2, 4}, any
+    admission order, either lane policy and a random QoS mix, every
+    frame decoded by the farm is bit-identical to standalone
+    ``decode_frame`` — results, LLRs and counters."""
+    from repro.service import DetectorFarm
+
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1),
+                                          label="seed"))
+    decoders = [(SphereDecoder(qam(4)), False),
+                (SphereDecoder(qam(16)), False),
+                (ListSphereDecoder(qam(4), list_size=4), True)]
+    num_frames = data.draw(st.integers(2, 5), label="num_frames")
+    frames = []
+    for _ in range(num_frames):
+        decoder, soft = decoders[int(rng.integers(len(decoders)))]
+        frame = _make_frame(decoder, int(rng.integers(2, 5)),
+                            int(rng.integers(1, 3)),
+                            float(rng.uniform(10.0, 20.0)), rng,
+                            soft=soft, num_rx=3)
+        frame.priority = int(rng.integers(0, 3))
+        if bool(rng.integers(2)):
+            frame.deadline_s = 3600.0
+        frames.append(frame)
+    order = data.draw(st.permutations(range(num_frames)), label="order")
+    num_shards = data.draw(st.sampled_from([1, 2, 4]), label="num_shards")
+    lane_policy = data.draw(st.sampled_from(["deadline", "fifo"]),
+                            label="lane_policy")
+    farm = DetectorFarm(num_shards, backend="inline",
+                        runtime_kwargs={
+                            "capacity": data.draw(st.integers(2, 24),
+                                                  label="capacity"),
+                            "lane_policy": lane_policy})
+    with farm:
+        handles = {}
+        for index in order:
+            handles[index] = farm.submit(frames[index])
+            if data.draw(st.booleans(), label="pump"):
+                farm.pump()
+        farm.drain()
+        for index, frame in enumerate(frames):
+            assert handles[index].resolution == "completed"
+            _assert_identical(handles[index].result(), _reference(frame),
+                              frame.noise_variance is not None)

@@ -437,3 +437,69 @@ def test_cell_workload_qos_mix_tags_arrivals():
     assert scaled[2].deadline_s is None
     with pytest.raises(ValueError):
         CellWorkload(trace, num_users=6, group_size=4, qos_mix=())
+
+
+# ----------------------------------------------------------------------
+# Degraded budgets through the scalar drain (ISSUE-8 satellite)
+# ----------------------------------------------------------------------
+
+def test_degraded_budget_enforced_through_scalar_drain():
+    """A degraded frame handed to the straggler drain must honour the
+    shrunken per-lane budget.  Degrading an *unbudgeted* frame to B
+    before the first tick makes the whole run equivalent to a decoder
+    built with ``node_budget=B`` — so with ``drain_threshold=capacity``
+    (every lane finishes through the scalar drain) the results must be
+    bit-identical to that budgeted ``decode_frame``.  Before the fix the
+    drain ran at the decoder's own (unlimited) budget and searched past
+    the cap."""
+    from repro.runtime.engine import StreamingFrontier
+
+    rng = np.random.default_rng(17)
+    budget = 6
+    for soft in (False, True):
+        decoder = (ListSphereDecoder(qam(16), list_size=4) if soft
+                   else SphereDecoder(qam(16)))
+        frame = _make_frame(decoder, 4, 2, 8.0, rng, soft=soft)
+        job = FrameJob(0, frame)
+        engine = StreamingFrontier(capacity=4, drain_threshold=4)
+        engine.submit(job)
+        job.degraded_budget = budget
+        job.pool.degrade(job, budget)
+        completed = []
+        while not engine.idle:
+            completed.extend(engine.tick())
+        assert completed == [job]
+        assert (job.visited <= budget).all()
+
+        capped = (ListSphereDecoder(qam(16), list_size=4,
+                                    node_budget=budget) if soft
+                  else SphereDecoder(qam(16), node_budget=budget))
+        reference = (capped.decode_frame(frame.channels, frame.received,
+                                         frame.noise_variance) if soft
+                     else capped.decode_frame(frame.channels,
+                                              frame.received))
+        _assert_identical(job.finalise(), reference, soft)
+
+
+def test_degraded_drain_frame_feeds_degraded_crc_ledger():
+    """Session-level corner: a coded frame degraded *and* finished via
+    the scalar drain still lands in the degraded-CRC ledger with its
+    budget capped."""
+    rng = np.random.default_rng(18)
+    clock = _Clock()
+    # drain_threshold=capacity sends every search through the drain.
+    runtime = UplinkRuntime(capacity=8, drain_threshold=8, clock=clock,
+                            degraded_node_budget=2)
+    config = _coded_config(4, payload_bits=40)
+    frame = _make_coded_frame(config, SphereDecoder(qam(4)), 25.0, rng)
+    frame.deadline_s = 10.0
+    handle = runtime.submit(frame)
+    clock.now = 9.0
+    runtime.drain()
+    assert handle.degraded and handle.resolution == "completed"
+    assert (handle.result().counters.visited_nodes
+            <= 2 * frame.received.shape[0] * frame.received.shape[1]
+            * frame.channels.shape[2])
+    stats = runtime.stats
+    assert stats.degraded_streams_decoded == 2
+    assert stats.summary()["degraded_streams_decoded"] == 2

@@ -1,0 +1,379 @@
+"""Sharded detector farm + cell-site service front (ISSUE-8).
+
+The farm contract under test: deterministic signature routing, results
+bit-identical to standalone ``decode_frame`` through both backends and
+the socket front, per-connection frame ownership, farm-wide
+backpressure, and the supervision story — a SIGKILLed worker's in-flight
+frames are replayed (real results) or expired (explicit
+``FrameExpired``), never hung and never fabricated.
+
+The deterministic sweeps (shard counts × admission orders × QoS mixes)
+live in ``tests/test_runtime.py::test_farm_shard_counts_bit_identical``;
+this file covers the farm's own machinery, including the process
+backend, which forks real workers and therefore stays small and
+targeted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constellation import qam
+from repro.runtime import FrameExpired
+from repro.runtime.stats import aggregate_summaries
+from repro.service import (
+    CellSiteClient,
+    CellSiteServer,
+    DetectorFarm,
+    ShardRuntime,
+    request_signature,
+    shard_for,
+)
+from repro.sphere import ListSphereDecoder, SphereDecoder
+
+from test_runtime import _assert_identical, _make_frame, _reference
+
+
+def _mixed_frames(rng, repeats=2):
+    """Hard 16-QAM, hard QPSK and soft 16-QAM frames — three distinct
+    signatures, so multi-shard farms actually spread work."""
+    hard16 = SphereDecoder(qam(16))
+    hard4 = SphereDecoder(qam(4))
+    soft16 = ListSphereDecoder(qam(16), list_size=4)
+    frames = []
+    for _ in range(repeats):
+        frames.append(_make_frame(hard16, 5, 2, 18.0, rng))
+        frames.append(_make_frame(hard4, 4, 2, 12.0, rng))
+        frames.append(_make_frame(soft16, 4, 2, 15.0, rng, soft=True))
+    return frames
+
+
+def _check_all(handles, frames):
+    for handle, frame in zip(handles, frames):
+        assert handle.resolution == "completed", handle.resolution
+        _assert_identical(handle.result(), _reference(frame),
+                          frame.noise_variance is not None)
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+def test_routing_is_deterministic_and_signature_stable():
+    rng = np.random.default_rng(0)
+    frames = _mixed_frames(rng, repeats=1)
+    signatures = [request_signature(frame) for frame in frames]
+    assert len(set(signatures)) == 3, "three decoder setups, three keys"
+    # Same decoder config, different payload -> same signature.
+    again = _mixed_frames(np.random.default_rng(1), repeats=1)
+    assert [request_signature(frame) for frame in again] == signatures
+    for shards in (1, 2, 4, 7):
+        routes = [shard_for(sig, shards) for sig in signatures]
+        assert all(0 <= route < shards for route in routes)
+        assert routes == [shard_for(sig, shards) for sig in signatures]
+    with DetectorFarm(4, backend="inline") as farm:
+        assert [farm.route(frame) for frame in frames] == [
+            shard_for(sig, 4) for sig in signatures]
+
+    with pytest.raises(ValueError):
+        shard_for(signatures[0], 0)
+    with pytest.raises(ValueError):
+        request_signature(_bad_decoder_frame(rng))
+
+
+def _bad_decoder_frame(rng):
+    from repro.sphere import KBestDecoder
+    frame = _make_frame(SphereDecoder(qam(4)), 2, 1, 15.0, rng)
+    frame.decoder = KBestDecoder(qam(4), k=4)
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Process backend: bit-exactness, stats, supervision
+# ----------------------------------------------------------------------
+
+def test_process_farm_bit_identical_and_aggregated_stats():
+    rng = np.random.default_rng(2)
+    frames = _mixed_frames(rng)
+    with DetectorFarm(2, backend="process") as farm:
+        handles = [farm.submit(frame) for frame in frames]
+        farm.drain()
+        _check_all(handles, frames)
+        assert farm.idle
+        stats = farm.stats()
+    assert stats["shards"] == 2
+    assert stats["frames_completed"] == len(frames)
+    assert stats["frames_expired"] == 0
+    assert sum(stats["frames_routed"]) == len(frames)
+    assert all(count > 0 for count in stats["frames_routed"]), (
+        "three signatures across two shards must land on both")
+    assert stats["restarts"] == [0, 0]
+    assert len(stats["per_shard"]) == 2
+    assert stats["searches_completed"] == sum(
+        summary["searches_completed"] for summary in stats["per_shard"]
+        if summary is not None)
+
+
+def test_killed_worker_frames_are_replayed_not_lost():
+    """SIGKILL one shard mid-load: its in-flight frames (no deadlines)
+    are replayed into a fresh worker and still decode bit-identically —
+    no frame lost, no hang, at least one restart recorded."""
+    rng = np.random.default_rng(3)
+    frames = _mixed_frames(rng)
+    with DetectorFarm(2, backend="process") as farm:
+        handles = [farm.submit(frame) for frame in frames]
+        farm.kill_shard(0)
+        farm.drain()
+        _check_all(handles, frames)
+        assert sum(farm.stats()["restarts"]) >= 1
+
+
+def test_killed_worker_overdue_frames_expire_explicitly():
+    """Frames whose deadline passed while their worker was dead resolve
+    as explicit expiries through ``FrameExpired`` — never silently and
+    never with a made-up result.  ``max_restarts=0`` makes the first
+    kill exhaust the restart budget, so every in-flight frame expires
+    deterministically."""
+    rng = np.random.default_rng(4)
+    frames = _mixed_frames(rng, repeats=1)
+    for frame in frames:
+        frame.deadline_s = 3600.0           # generous: expiry must come
+    with DetectorFarm(1, backend="process", max_restarts=0) as farm:
+        handles = [farm.submit(frame) for frame in frames]
+        farm.kill_shard(0)                  # from exhaustion, not time
+        farm.drain()
+        for handle in handles:
+            assert handle.done
+            assert handle.resolution == "expired"
+            assert handle.missed_deadline
+            with pytest.raises(FrameExpired):
+                handle.result()
+        assert farm.stats()["restarts"] == [1]
+
+
+# ----------------------------------------------------------------------
+# Farm semantics: backpressure, cancel, lifecycle
+# ----------------------------------------------------------------------
+
+def test_farm_backpressure_bounds_outstanding():
+    rng = np.random.default_rng(5)
+    decoder = SphereDecoder(qam(4))
+    frames = [_make_frame(decoder, 3, 2, 15.0, rng) for _ in range(6)]
+    with DetectorFarm(2, backend="inline", max_outstanding=2) as farm:
+        handles = [farm.submit(frame) for frame in frames]
+        assert farm.outstanding <= 2
+        farm.drain()
+        _check_all(handles, frames)
+
+
+def test_farm_cancel_resolves_synchronously():
+    rng = np.random.default_rng(6)
+    decoder = SphereDecoder(qam(4))
+    frames = [_make_frame(decoder, 3, 2, 15.0, rng) for _ in range(3)]
+    with DetectorFarm(2, backend="inline") as farm:
+        handles = [farm.submit(frame) for frame in frames]
+        victim = handles[1]
+        assert farm.cancel(victim)
+        assert victim.resolution == "cancelled" and victim.done
+        with pytest.raises(FrameExpired):
+            victim.result()
+        assert not farm.cancel(victim)      # already resolved
+        farm.drain()
+        _check_all([handles[0], handles[2]],
+                   [frames[0], frames[2]])
+        assert not farm.cancel(handles[0])  # completed long ago
+
+
+def test_farm_close_expires_unresolved_frames():
+    rng = np.random.default_rng(7)
+    farm = DetectorFarm(1, backend="inline")
+    handle = farm.submit(_make_frame(SphereDecoder(qam(4)), 3, 2, 15.0,
+                                     rng))
+    farm.close()
+    assert handle.resolution == "expired" and handle.missed_deadline
+    with pytest.raises(ValueError):
+        farm.submit(_make_frame(SphereDecoder(qam(4)), 2, 1, 15.0, rng))
+    farm.close()                            # idempotent
+
+
+def test_farm_validation():
+    with pytest.raises(ValueError):
+        DetectorFarm(0)
+    with pytest.raises(ValueError):
+        DetectorFarm(2, backend="thread")
+    with pytest.raises(ValueError):
+        DetectorFarm(2, max_outstanding=0)
+    with DetectorFarm(1, backend="inline") as farm:
+        with pytest.raises(ValueError):
+            farm.kill_shard(0)              # needs real processes
+
+
+def test_shard_runtime_cancel_queued_and_inflight():
+    """The shared shard brain: cancelling a queued frame removes it
+    before admission, cancelling an admitted one evicts it, and a
+    resolved frame reports the race lost."""
+    rng = np.random.default_rng(8)
+    decoder = SphereDecoder(qam(4))
+    shard = ShardRuntime({"capacity": 4, "max_in_flight": 1})
+    frames = [_make_frame(decoder, 3, 2, 15.0, rng) for _ in range(3)]
+    for frame_id, frame in enumerate(frames):
+        shard.submit(frame_id, frame)
+    assert shard.outstanding == 3
+    assert shard.cancel(2)                  # still queued locally
+    assert shard.cancel(0)                  # in flight in the runtime
+    payloads = shard.drain()
+    assert [payload["frame_id"] for payload in payloads] == [1]
+    assert payloads[0]["resolution"] == "completed"
+    assert not shard.cancel(1)              # already resolved
+    assert shard.idle
+
+
+# ----------------------------------------------------------------------
+# The socket front: two cells, one farm
+# ----------------------------------------------------------------------
+
+def test_two_clients_share_a_farm_with_ownership():
+    rng = np.random.default_rng(9)
+    frames = _mixed_frames(rng)
+    with CellSiteServer(DetectorFarm(2, backend="process")) as server:
+        with CellSiteClient(server.address) as cell_a, \
+                CellSiteClient(server.address) as cell_b:
+            ids_a = [cell_a.submit(frame) for frame in frames[:3]]
+            ids_b = [cell_b.submit(frame) for frame in frames[3:]]
+            assert cell_a.outstanding == 3
+            payloads_a = cell_a.drain()
+            payloads_b = cell_b.drain()
+            # Ownership: each cell sees exactly its own frames.
+            assert {p["frame_id"] for p in payloads_a} == set(ids_a)
+            assert {p["frame_id"] for p in payloads_b} == set(ids_b)
+            for ids, payloads, offset in ((ids_a, payloads_a, 0),
+                                          (ids_b, payloads_b, 3)):
+                by_id = {p["frame_id"]: p for p in payloads}
+                for position, frame_id in enumerate(ids):
+                    frame = frames[offset + position]
+                    _assert_identical(by_id[frame_id]["result"],
+                                      _reference(frame),
+                                      frame.noise_variance is not None)
+            stats = cell_a.stats()
+            assert stats["frames_completed"] == len(frames)
+            assert cell_a.outstanding == 0
+
+
+def test_client_cancel_over_the_wire():
+    rng = np.random.default_rng(10)
+    decoder = SphereDecoder(qam(4))
+    with CellSiteServer(DetectorFarm(1, backend="process")) as server:
+        with CellSiteClient(server.address) as cell:
+            frame_id = cell.submit(_make_frame(decoder, 3, 2, 15.0, rng))
+            keeper = cell.submit(_make_frame(decoder, 3, 2, 15.0, rng))
+            assert cell.cancel(frame_id)
+            assert not cell.cancel(frame_id)     # already cancelled
+            assert not cell.cancel(999_999)      # never existed
+            payloads = cell.drain()
+            assert [p["frame_id"] for p in payloads] == [keeper]
+            assert payloads[0]["resolution"] == "completed"
+
+
+# ----------------------------------------------------------------------
+# Stats aggregation
+# ----------------------------------------------------------------------
+
+def test_aggregate_summaries_sums_and_recombines():
+    rng = np.random.default_rng(11)
+    decoder = SphereDecoder(qam(4))
+    shards = [ShardRuntime(None), ShardRuntime(None)]
+    for index in range(4):
+        shards[index % 2].submit(index,
+                                 _make_frame(decoder, 3, 2, 15.0, rng))
+    for shard in shards:
+        shard.drain()
+    summaries = [shard.summary() for shard in shards]
+    farm_view = aggregate_summaries(summaries)
+    assert farm_view["shards"] == 2
+    assert farm_view["frames_completed"] == 4
+    assert farm_view["visited_nodes"] == sum(
+        summary["visited_nodes"] for summary in summaries)
+    # Shards run concurrently: throughput adds, wall time does not.
+    assert farm_view["frames_per_second"] == pytest.approx(sum(
+        summary["frames_per_second"] for summary in summaries))
+    assert farm_view["elapsed_s"] == max(
+        summary["elapsed_s"] for summary in summaries)
+    empty = aggregate_summaries([])
+    assert empty["shards"] == 0 and empty["frames_completed"] == 0
+    assert empty["elapsed_s"] == 0.0 and empty["deadline_miss_rate"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Worker loop and hang detection
+# ----------------------------------------------------------------------
+
+class _ScriptedPipe:
+    """Drives ``worker_main`` in-process: feeds scripted commands, then
+    models the parent closing the pipe once a result has been sent."""
+
+    def __init__(self, messages):
+        from collections import deque
+        self.incoming = deque(messages)
+        self.sent = []
+
+    def poll(self, timeout=0):
+        if self.incoming:
+            return True
+        # Parent "hangs up" once the shard has delivered a result.
+        return any(message[0] == "done" for message in self.sent)
+
+    def recv(self):
+        if not self.incoming:
+            raise EOFError
+        return self.incoming.popleft()
+
+    def send(self, message):
+        self.sent.append(message)
+
+
+def test_worker_main_loop_in_process():
+    """The child-process loop run against a scripted pipe: submit /
+    cancel / stats dispatch, decode servicing, heartbeats, and the
+    clean EOF exit — all in-process, so it counts toward coverage."""
+    from repro.service import worker_main
+
+    rng = np.random.default_rng(12)
+    frame = _make_frame(SphereDecoder(qam(4)), 3, 2, 15.0, rng)
+    pipe = _ScriptedPipe([("submit", 7, frame),
+                          ("cancel", 99),          # unknown id: a no-op
+                          ("stats",)])
+    worker_main(0, pipe, None, heartbeat_s=1e-4)   # returns on EOF
+    kinds = [message[0] for message in pipe.sent]
+    assert kinds.count("done") == 1
+    assert "stats" in kinds and "beat" in kinds
+    done = next(message for message in pipe.sent if message[0] == "done")
+    assert done[1] == 0 and done[2]["frame_id"] == 7
+    assert done[2]["resolution"] == "completed"
+    _assert_identical(done[2]["result"], _reference(frame), False)
+    stats_reply = next(message for message in pipe.sent
+                       if message[0] == "stats")
+    # The stats command is answered from the first pipe drain, before
+    # the decode itself has serviced: submitted, not yet completed.
+    assert stats_reply[2]["frames_submitted"] == 1
+
+
+def test_hung_worker_detected_and_frames_replayed():
+    """A worker that goes quiet (SIGSTOP: alive but never beating) trips
+    the hang detector; its deadline-tagged in-flight frames are replayed
+    with shrunken budgets and still complete exactly."""
+    import os
+    import signal
+    import time
+
+    rng = np.random.default_rng(13)
+    frames = [_make_frame(SphereDecoder(qam(16)), 5, 3, 12.0, rng)
+              for _ in range(3)]
+    for frame in frames:
+        frame.deadline_s = 3600.0           # replay must shrink, not drop
+    with DetectorFarm(1, backend="process", heartbeat_s=0.01,
+                      hang_timeout_s=0.08) as farm:
+        handles = [farm.submit(frame) for frame in frames]
+        os.kill(farm._supervisor._workers[0].process.pid, signal.SIGSTOP)
+        time.sleep(0.1)                     # let the quiet period elapse
+        farm.drain()
+        _check_all(handles, frames)
+        assert farm.stats()["restarts"] == [1]
