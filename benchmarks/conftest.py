@@ -16,9 +16,60 @@ round); the decode-latency micro-benchmarks use normal repeated timing.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import re
 import time
+from pathlib import Path
 
 import pytest
+
+#: Where the per-benchmark JSON reports land (gitignored; one
+#: ``BENCH_<name>.json`` per benchmark that recorded ``extra_info``).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _machine_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@pytest.fixture(autouse=True)
+def bench_json_report(request):
+    """Write each benchmark's headline numbers to a standalone JSON file.
+
+    ``pytest-benchmark``'s own ``--benchmark-json`` bundles a whole run
+    into one file and is easy to forget to pass; this autouse fixture
+    makes every benchmark that stashed ``extra_info`` (speedups,
+    frames/sec, figure series) also drop a small
+    ``benchmarks/results/BENCH_<test>.json`` with the numbers plus the
+    machine fingerprint, so CI artefacts and local runs are comparable
+    without extra flags.  Works under ``--benchmark-disable`` too — the
+    extra_info numbers are measured by the tests themselves.
+    """
+    yield
+    benchmark = request.node.funcargs.get("benchmark")
+    extra = getattr(benchmark, "extra_info", None)
+    if not extra:
+        return
+    name = re.sub(r"[^A-Za-z0-9_.=-]+", "_", request.node.name)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "name": request.node.name,
+        "nodeid": request.node.nodeid,
+        "timestamp": time.time(),
+        "machine": _machine_info(),
+        "extra_info": dict(extra),
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=float)
+        fh.write("\n")
 
 
 @pytest.fixture

@@ -89,6 +89,12 @@ def main() -> None:
     print(f"mean lane occupancy: {stats.mean_lane_occupancy():.2f} "
           f"({stats.ticks} ticks, "
           f"{stats.counters.visited_nodes} nodes visited)")
+    tick_p = stats.tick_duration_percentiles((50, 99))
+    print(f"tick time: p50/p99 {tick_p[50] * 1e6:.0f} / "
+          f"{tick_p[99] * 1e6:.0f} us, kernel share "
+          f"{stats.kernel_time_fraction():.0%} "
+          f"({stats.tick_kernel_s * 1e3:.1f} ms kernel / "
+          f"{stats.tick_orchestration_s() * 1e3:.1f} ms orchestration)")
 
     # The coded chain's verdict: what actually got delivered.
     delivered = sum(

@@ -73,7 +73,9 @@ class SphereDetector:
     def detect_frame(self, channels, received,
                      noise_variance: float = 0.0, *,
                      capacity: int | None = None,
-                     drain_threshold: int | None = None) -> FrameDetectionResult:
+                     drain_threshold: int | None = None,
+                     tick_strategy: str | None = None
+                     ) -> FrameDetectionResult:
         """Detect a whole uplink frame — ``(S, na, nc)`` channels,
         ``(T, S, na)`` observations — in one decoder call.
 
@@ -94,20 +96,26 @@ class SphereDetector:
         take the reference driver — rather than silently dropped.  (Tiny
         frames below ``FRONTIER_MIN_BATCH`` searches still auto-fall
         back to the reference driver, where the knobs are moot: results
-        are bit-identical for every setting.)
+        are bit-identical for every setting.)  ``tick_strategy`` is the
+        same kind of knob: ``"compiled"`` runs each frontier search to
+        completion through the Numba per-tick kernel, ``"numpy"`` the
+        lockstep ticks — bit-identical either way.
         """
         engine_kwargs = {}
         if capacity is not None:
             engine_kwargs["capacity"] = capacity
         if drain_threshold is not None:
             engine_kwargs["drain_threshold"] = drain_threshold
+        if tick_strategy is not None:
+            engine_kwargs["tick_strategy"] = tick_strategy
         decode_frame = getattr(self.decoder, "decode_frame", None)
         if engine_kwargs:
             require(decode_frame is not None
                     and getattr(self.decoder, "batch_strategy",
                                 None) == "frontier",
-                    "capacity/drain_threshold tune the depth-first frame "
-                    f"frontier; {self.name} does not run one")
+                    "capacity/drain_threshold/tick_strategy tune the "
+                    f"depth-first frame frontier; {self.name} does not "
+                    "run one")
         if decode_frame is not None:
             result = decode_frame(channels, received, **engine_kwargs)
             counters = result.counters

@@ -34,6 +34,8 @@ import numpy as np
 
 from ..sphere.batch_search import make_kernel
 from ..sphere.counters import ComplexityCounters
+from ..sphere.tick_kernel import NO_BUDGET, resolve_tick_strategy, \
+    run_hard_to_completion
 from ..utils.validation import require
 from .results import FrameDecodeResult, empty_frame_result, \
     sum_tally_counters
@@ -177,7 +179,9 @@ def _drain_element(decoder, kernel, element: int, lane: int, r, y_row, diag,
 def frame_decode_sphere(decoder, r_stack: np.ndarray, y_hat: np.ndarray, *,
                         capacity: int | None = None,
                         drain_threshold: int | None = None,
-                        trace: dict | None = None) -> FrameDecodeResult:
+                        trace: dict | None = None,
+                        tick_strategy: str | None = None
+                        ) -> FrameDecodeResult:
     """Decode every (symbol, subcarrier) slot of a frame in one frontier.
 
     Parameters
@@ -207,6 +211,13 @@ def frame_decode_sphere(decoder, r_stack: np.ndarray, y_hat: np.ndarray, *,
         per scheduler refill, ``"leaf_events"`` — per-tick
         ``(elements, distances)`` radius tightenings, ``"drained"`` —
         elements finished by the scalar continuation.
+    tick_strategy:
+        ``"compiled"`` runs each admitted wave of searches to completion
+        through the compiled kernel (:mod:`repro.sphere.tick_kernel`),
+        ``"numpy"`` the lockstep array ticks; ``None`` defers to the
+        decoder's ``tick_strategy`` and then the session default.  Both
+        are bit-identical; tracing and non-compiled enumerators resolve
+        to ``"numpy"``.
 
     Returns
     -------
@@ -291,6 +302,26 @@ def frame_decode_sphere(decoder, r_stack: np.ndarray, y_hat: np.ndarray, *,
         return np.concatenate([active, elements])
 
     active = admit(np.empty(0, dtype=np.int64))
+
+    requested = (tick_strategy if tick_strategy is not None
+                 else getattr(decoder, "tick_strategy", None))
+    if resolve_tick_strategy(requested, decoder.enumerator,
+                             trace) == "compiled":
+        # Admission wave by admission wave, run every lane's search to
+        # completion natively — the same per-element iterations as the
+        # tick loop below, so results and counters are bit-identical and
+        # neither the budget pre-stop nor the drain has work left.
+        caps_value = NO_BUDGET if node_budget is None else node_budget
+        while active.size:
+            caps = np.full(active.size, caps_value, dtype=np.int64)
+            run_hard_to_completion(
+                kernel, active, lane_of[active], sub[active], caps, r_stack,
+                y_flat, diag_stack, diag_sq_stack, level, radius,
+                parent_flat, path_cols, path_rows, chosen, best_cols,
+                best_rows, best_dist, tallies)
+            scheduler.release(lane_of[active])
+            lane_of[active] = -1
+            active = admit(np.empty(0, dtype=np.int64))
 
     while active.size or scheduler.pending:
         if node_budget is not None and active.size:

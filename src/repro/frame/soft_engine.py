@@ -43,6 +43,8 @@ import numpy as np
 from ..sphere.batch_search import make_kernel
 from ..sphere.counters import ComplexityCounters
 from ..sphere.soft import soft_outputs_from_lists
+from ..sphere.tick_kernel import NO_BUDGET, resolve_tick_strategy, \
+    run_soft_to_completion
 from .engine import DRAIN_THRESHOLD_CAP, DEFAULT_LANE_CAPACITY, \
     _check_frame_inputs, accumulate_interference
 from .results import SoftFrameResult, empty_soft_frame_result, \
@@ -194,7 +196,8 @@ def _drain_soft_element(decoder, kernel, element: int, lane: int, r, y_row,
 def frame_decode_soft(decoder, r_stack: np.ndarray, y_hat: np.ndarray,
                       noise_variance: float, *, capacity: int | None = None,
                       drain_threshold: int | None = None,
-                      trace: dict | None = None) -> SoftFrameResult:
+                      trace: dict | None = None,
+                      tick_strategy: str | None = None) -> SoftFrameResult:
     """Soft-decode every (symbol, subcarrier) slot of a frame in one
     frontier.
 
@@ -209,11 +212,13 @@ def frame_decode_soft(decoder, r_stack: np.ndarray, y_hat: np.ndarray,
         :mod:`repro.frame.preprocess`.
     noise_variance:
         Post-detection noise power the LLRs are scaled by.
-    capacity, drain_threshold, trace:
+    capacity, drain_threshold, trace, tick_strategy:
         Exactly as in :func:`repro.frame.engine.frame_decode_sphere`:
         lane-pool size, the survivor count below which the scalar
-        continuation takes over (once per frame), and the observability
-        dict (``"admitted"``, ``"leaf_events"``, ``"drained"``).
+        continuation takes over (once per frame), the observability
+        dict (``"admitted"``, ``"leaf_events"``, ``"drained"``), and
+        the compiled-vs-numpy tick knob (``None`` defers to the
+        decoder, then the session default; bit-identical either way).
 
     Returns
     -------
@@ -301,6 +306,27 @@ def frame_decode_soft(decoder, r_stack: np.ndarray, y_hat: np.ndarray,
         return np.concatenate([active, elements])
 
     active = admit(np.empty(0, dtype=np.int64))
+
+    requested = (tick_strategy if tick_strategy is not None
+                 else getattr(decoder, "tick_strategy", None))
+    if resolve_tick_strategy(requested, decoder.enumerator,
+                             trace) == "compiled":
+        # Admission wave by admission wave, run every lane's list search
+        # to completion natively — the same per-element iterations as
+        # the tick loop below, so lists, LLR inputs and counters are
+        # bit-identical and neither the budget pre-stop nor the drain
+        # has work left.
+        caps_value = NO_BUDGET if node_budget is None else node_budget
+        while active.size:
+            caps = np.full(active.size, caps_value, dtype=np.int64)
+            run_soft_to_completion(
+                kernel, active, lane_of[active], sub[active], caps, r_stack,
+                y_flat, diag_stack, diag_sq_stack, level, radius,
+                parent_flat, path_cols, path_rows, chosen, list_d, list_seq,
+                list_cols, list_rows, list_n, leaf_seq, list_size, tallies)
+            scheduler.release(lane_of[active])
+            lane_of[active] = -1
+            active = admit(np.empty(0, dtype=np.int64))
 
     while active.size or scheduler.pending:
         if node_budget is not None and active.size:

@@ -68,7 +68,8 @@ FRAME_STRATEGIES = ("frame", "per_subcarrier")
 def detect_uplink(channels, received, detector, noise_variance: float,
                   frame_strategy: str = "frame", *,
                   capacity: int | None = None,
-                  drain_threshold: int | None = None) -> UplinkDetection:
+                  drain_threshold: int | None = None,
+                  tick_strategy: str | None = None) -> UplinkDetection:
     """Detect a whole uplink frame.
 
     ``channels`` is ``(S, na, nc)`` — one matrix per data subcarrier;
@@ -96,8 +97,12 @@ def detect_uplink(channels, received, detector, noise_variance: float,
     survivors, the cap measured best at frame scale); they only apply to
     the ``"frame"`` dispatch of detectors that run the depth-first frame
     frontier, so passing either with a detector that cannot honour it is
-    an error rather than a silent no-op.  Results are bit-identical for
-    every knob setting — the knobs trade wall-clock only.
+    an error rather than a silent no-op.  ``tick_strategy`` rides the
+    same dispatch: ``"compiled"`` runs each frame-frontier search to
+    completion through the Numba per-tick kernel
+    (:mod:`repro.sphere.tick_kernel`), ``"numpy"`` keeps the lockstep
+    array ticks.  Results are bit-identical for every knob setting —
+    the knobs trade wall-clock only.
 
     Both strategies return bit-identical symbol decisions and aggregated
     counters (``tests/test_frame_engine.py`` and the
@@ -124,13 +129,16 @@ def detect_uplink(channels, received, detector, noise_variance: float,
         engine_kwargs["capacity"] = capacity
     if drain_threshold is not None:
         engine_kwargs["drain_threshold"] = drain_threshold
+    if tick_strategy is not None:
+        engine_kwargs["tick_strategy"] = tick_strategy
     detect_frame = getattr(detector, "detect_frame", None)
     if frame_strategy == "frame" and detect_frame is not None:
         if engine_kwargs:
             parameters = inspect.signature(detect_frame).parameters
             require(all(name in parameters for name in engine_kwargs),
-                    "capacity/drain_threshold tune the depth-first frame "
-                    f"frontier; {type(detector).__name__}.detect_frame "
+                    "capacity/drain_threshold/tick_strategy tune the "
+                    "depth-first frame frontier; "
+                    f"{type(detector).__name__}.detect_frame "
                     "does not run one")
         result = detect_frame(matrices, observations, noise_variance,
                               **engine_kwargs)
@@ -138,9 +146,9 @@ def detect_uplink(channels, received, detector, noise_variance: float,
                                counters=result.counters,
                                detections=num_symbols * num_subcarriers)
     require(not engine_kwargs,
-            "capacity/drain_threshold are frame-frontier knobs; they need "
-            "frame_strategy='frame' and a detector with a frame entry "
-            "point")
+            "capacity/drain_threshold/tick_strategy are frame-frontier "
+            "knobs; they need frame_strategy='frame' and a detector with "
+            "a frame entry point")
 
     indices = np.empty((num_symbols, num_subcarriers, num_streams),
                        dtype=np.int64)

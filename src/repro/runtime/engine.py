@@ -44,6 +44,8 @@ search's float program anyway — matches a pool built at full size.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..frame.engine import (
@@ -55,6 +57,12 @@ from ..frame.engine import (
 from ..frame.scheduler import LanePool
 from ..frame.soft_engine import _drain_soft_element, insert_soft_leaves
 from ..sphere.batch_search import _grown, make_kernel
+from ..sphere.tick_kernel import (
+    TICK_STRATEGIES,
+    resolve_tick_strategy,
+    run_hard_to_completion,
+    run_soft_to_completion,
+)
 from ..utils.validation import require
 from .queue import AdmissionQueue, FrameJob
 
@@ -109,6 +117,12 @@ class _PoolBase:
         else:
             self.drain_threshold = engine.drain_threshold
         self.queue = AdmissionQueue(fifo=engine.lane_policy == "fifo")
+        # Effective tick strategy: the engine-level knob, else the
+        # submitting decoder's own, resolved once per pool (compiled
+        # requests degrade to numpy when unavailable, with one warning).
+        requested = (engine.tick_strategy if engine.tick_strategy is not None
+                     else getattr(decoder, "tick_strategy", None))
+        self.tick_mode = resolve_tick_strategy(requested, decoder.enumerator)
         self.allocated = capacity
         self.lanes = LanePool(capacity)
         self.active = _EMPTY
@@ -129,8 +143,14 @@ class _PoolBase:
                         self.prunes)
         self.kernel = make_kernel(decoder, capacity * num_streams, levels,
                                   self.ped, self.prunes)
-        # Which (frame, element) each lane is running.
-        self.job_of: list[FrameJob | None] = [None] * capacity
+        # Which (frame, element) each lane is running.  Frames are
+        # interned to dense integer ids so the per-tick grouping and the
+        # QoS lane scans are array compares instead of per-lane Python
+        # identity walks rebuilt every tick.
+        self.jobidx_of = np.zeros(capacity, dtype=np.int64)
+        self._jobidx: dict[int, int] = {}
+        self._jobs_by_idx: dict[int, FrameJob] = {}
+        self._next_jobidx = 0
         self.elem_of = np.zeros(capacity, dtype=np.int64)
         # Per-lane copies of the element's channel: its subcarrier's R,
         # rotated observation and diagonal scalings.  Same float values
@@ -176,7 +196,7 @@ class _PoolBase:
         self.tallies = (self.ped, self.visited, self.expanded, self.leaves,
                         self.prunes)
         self.kernel.grow(capacity * self.num_streams, self.ped, self.prunes)
-        self.job_of.extend([None] * (capacity - self.allocated))
+        self.jobidx_of = _grown(self.jobidx_of, capacity)
         self.elem_of = _grown(self.elem_of, capacity)
         self.lane_r = _grown(self.lane_r, capacity)
         self.lane_y = _grown(self.lane_y, capacity)
@@ -228,8 +248,7 @@ class _PoolBase:
         admitted = []
         for job, elements in self.queue.take(room):
             lanes = self.lanes.take(elements.size)
-            for lane in lanes.tolist():
-                self.job_of[lane] = job
+            self.jobidx_of[lanes] = self._jobidx_for(job)
             self.elem_of[lanes] = elements
             subcarriers = elements // job.num_symbols
             self.lane_r[lanes] = job.r_stack[subcarriers]
@@ -253,9 +272,24 @@ class _PoolBase:
             self.active = np.concatenate([self.active, lanes])
 
     # -- retirement -----------------------------------------------------
+    def _jobidx_for(self, job: FrameJob) -> int:
+        index = self._jobidx.get(id(job))
+        if index is None:
+            index = self._next_jobidx
+            self._next_jobidx = index + 1
+            self._jobidx[id(job)] = index
+            self._jobs_by_idx[index] = job
+        return index
+
+    def _forget(self, job: FrameJob) -> None:
+        """Drop a finished/abandoned frame's id mapping (stale
+        ``jobidx_of`` rows belong to free lanes, which admission rewrites
+        before any tick reads them)."""
+        index = self._jobidx.pop(id(job), None)
+        if index is not None:
+            del self._jobs_by_idx[index]
+
     def _release(self, lanes: np.ndarray) -> None:
-        for lane in lanes.tolist():
-            self.job_of[lane] = None
         self.lanes.release(lanes)
         self.engine.in_use -= lanes.size
 
@@ -263,6 +297,7 @@ class _PoolBase:
         job.remaining -= count
         if job.remaining == 0:
             completed.append(job)
+            self._forget(job)
 
     # -- QoS hooks (driven by the session's deadline machinery) ---------
     def degrade(self, job: FrameJob, budget: int) -> None:
@@ -275,22 +310,25 @@ class _PoolBase:
         best-so-far — exactly the scalar early-break semantics, so the
         degraded result is real work delivered early, never fabricated.
         """
-        lanes = [lane for lane in self.active.tolist()
-                 if self.job_of[lane] is job]
-        if lanes:
-            index = np.asarray(lanes, dtype=np.int64)
-            self.lane_budget[index] = np.minimum(self.lane_budget[index],
+        jobidx = self._jobidx.get(id(job))
+        if jobidx is None or not self.active.size:
+            return
+        lanes = self.active[self.jobidx_of[self.active] == jobidx]
+        if lanes.size:
+            self.lane_budget[lanes] = np.minimum(self.lane_budget[lanes],
                                                  budget)
 
     def evict(self, job: FrameJob) -> int:
         """Abandon the job's in-lane searches (expiry / cancellation):
         remove them from the active set and free their lanes.  Returns
         how many searches were evicted."""
+        jobidx = self._jobidx.get(id(job))
+        if jobidx is None:
+            return 0
+        self._forget(job)
         if not self.active.size:
             return 0
-        mask = np.fromiter((self.job_of[lane] is job
-                            for lane in self.active.tolist()),
-                           dtype=bool, count=self.active.size)
+        mask = self.jobidx_of[self.active] == jobidx
         if not mask.any():
             return 0
         victims = self.active[mask]
@@ -299,12 +337,20 @@ class _PoolBase:
         return int(victims.size)
 
     def _by_job(self, lanes: np.ndarray):
-        groups: dict[int, tuple[FrameJob, list[int]]] = {}
-        for lane in lanes.tolist():
-            job = self.job_of[lane]
-            groups.setdefault(id(job), (job, []))[1].append(lane)
-        for job, job_lanes in groups.values():
-            yield job, np.asarray(job_lanes, dtype=np.int64)
+        if not lanes.size:
+            return
+        keys = self.jobidx_of[lanes]
+        first_key = keys[0]
+        if bool((keys == first_key).all()):
+            # The common streaming case — every finishing lane belongs to
+            # one frame — groups without any index allocation.
+            yield self._jobs_by_idx[int(first_key)], lanes
+            return
+        unique, first_seen = np.unique(keys, return_index=True)
+        # First-occurrence order, matching the insertion-ordered dict the
+        # per-lane walk used to build.
+        for key in unique[np.argsort(first_seen)]:
+            yield self._jobs_by_idx[int(key)], lanes[keys == key]
 
     def _finish_lockstep(self, lanes: np.ndarray, completed: list) -> None:
         """Copy finished lockstep searches' results to their frames."""
@@ -335,7 +381,7 @@ class _PoolBase:
         dry), exactly the frame engines' per-frame drain — here crossed
         once per workload lull instead of once per frame."""
         for lane in self.active.tolist():
-            job = self.job_of[lane]
+            job = self._jobs_by_idx[int(self.jobidx_of[lane])]
             element = int(self.elem_of[lane])
             self._drain_one(job, lane, element)
             self._retire(job, 1, completed)
@@ -347,7 +393,13 @@ class _PoolBase:
         """Advance every active search one level, frame boundaries
         ignored: budget stops, refill, drain check, then the kernel step
         — the frame engines' loop body, verbatim, over lane-indexed
-        state."""
+        state.  Under ``tick_strategy="compiled"`` one tick instead
+        admits a batch and runs every admitted search to completion
+        through the compiled kernel (bit-identical results; the budget
+        pre-stop and the straggler drain have nothing left to do)."""
+        if self.tick_mode == "compiled":
+            self._tick_compiled(completed)
+            return
         if self.active.size:
             # Per-lane budgets: the decoder's own node budget for every
             # undegraded search (bit-exact with the scalar early break),
@@ -366,7 +418,27 @@ class _PoolBase:
                 and self.active.size <= self.drain_threshold):
             self._drain_tail(completed)
             return
+        started = time.perf_counter()
         self._step(completed)
+        self.engine.last_tick_kernel_s += time.perf_counter() - started
+
+    def _tick_compiled(self, completed: list) -> None:
+        """Admit a batch, then finish it inside the compiled kernel.
+
+        Lanes never survive a tick, so admission alone decides budgets
+        (degraded frames are capped through ``lane_budget`` exactly as
+        in lockstep mode) and mid-flight QoS hooks find no active lanes.
+        """
+        if self.queue.pending and self.lanes.free_lanes:
+            self._admit()
+        if self.active.size == 0:
+            return
+        active = self.active
+        self.active = _EMPTY
+        started = time.perf_counter()
+        self._run_compiled(active)
+        self.engine.last_tick_kernel_s += time.perf_counter() - started
+        self._finish_lockstep(active, completed)
 
     def _step(self, completed: list) -> None:
         num_streams = self.num_streams
@@ -485,6 +557,17 @@ class _HardPool(_PoolBase):
         self.best_cols[at_leaf] = self.path_cols[at_leaf]
         self.best_rows[at_leaf] = self.path_rows[at_leaf]
 
+    def _run_compiled(self, active: np.ndarray) -> None:
+        # Lane-indexed everywhere: state row, kernel lane and channel
+        # copy all live at the lane index, and each lane's absolute
+        # budget sits in lane_budget (visited starts at zero).
+        run_hard_to_completion(
+            self.kernel, active, active, active, self.lane_budget[active],
+            self.lane_r, self.lane_y, self.lane_diag, self.lane_diag_sq,
+            self.level, self.radius, self.parent_flat, self.path_cols,
+            self.path_rows, self.chosen, self.best_cols, self.best_rows,
+            self.best_dist, self.tallies)
+
     def _store(self, job, lanes, elements) -> None:
         found = np.isfinite(self.best_dist[lanes])
         job.found[elements] = found
@@ -565,6 +648,15 @@ class _SoftPool(_PoolBase):
                            self.list_seq, self.list_cols, self.list_rows,
                            self.list_n, self.radius, self.list_size)
 
+    def _run_compiled(self, active: np.ndarray) -> None:
+        run_soft_to_completion(
+            self.kernel, active, active, active, self.lane_budget[active],
+            self.lane_r, self.lane_y, self.lane_diag, self.lane_diag_sq,
+            self.level, self.radius, self.parent_flat, self.path_cols,
+            self.path_rows, self.chosen, self.list_d, self.list_seq,
+            self.list_cols, self.list_rows, self.list_n, self.leaf_seq,
+            self.list_size, self.tallies)
+
     def _store(self, job, lanes, elements) -> None:
         job.list_d[elements] = self.list_d[lanes]
         job.list_seq[elements] = self.list_seq[lanes]
@@ -627,12 +719,24 @@ class StreamingFrontier:
         :data:`DEFAULT_INITIAL_LANES`, clamped to ``capacity``); pools
         grow geometrically on demand up to the global budget.  Purely an
         allocation knob — growth is invisible to results.
+    tick_strategy:
+        ``"compiled"`` makes every pool admit a batch per tick and run
+        it to completion through the Numba per-tick kernel
+        (:mod:`repro.sphere.tick_kernel`) — bit-identical results at
+        native speed; ``"numpy"`` keeps the lockstep array ticks.
+        ``None`` (default) defers to the submitting decoder's own
+        ``tick_strategy``, then ``REPRO_TICK_STRATEGY``.  Compiled mode
+        trades mid-flight QoS granularity for speed: a search finishes
+        within its admission tick, so ``degrade``/``evict`` only affect
+        still-queued searches (degraded budgets are still honoured at
+        admission through the per-lane budget).
     """
 
     def __init__(self, *, capacity: int | None = None,
                  drain_threshold: int | None = None,
                  lane_policy: str = "deadline",
-                 initial_lanes: int | None = None) -> None:
+                 initial_lanes: int | None = None,
+                 tick_strategy: str | None = None) -> None:
         if capacity is None:
             capacity = DEFAULT_LANE_CAPACITY
         if initial_lanes is None:
@@ -645,10 +749,18 @@ class StreamingFrontier:
         require(lane_policy in LANE_POLICIES,
                 f"unknown lane policy {lane_policy!r}; choose from "
                 f"{LANE_POLICIES}")
+        require(tick_strategy is None or tick_strategy in TICK_STRATEGIES,
+                f"unknown tick strategy {tick_strategy!r}; "
+                "choose 'compiled' or 'numpy'")
         self.capacity = capacity
         self.drain_threshold = drain_threshold
         self.lane_policy = lane_policy
         self.initial_lanes = initial_lanes
+        self.tick_strategy = tick_strategy
+        #: Seconds the last tick() spent inside kernel work (the numpy
+        #: step or the compiled cores), for the runtime's
+        #: kernel-vs-orchestration split.
+        self.last_tick_kernel_s = 0.0
         self.in_use = 0
         self._pools: dict[tuple, _PoolBase] = {}
 
@@ -742,6 +854,7 @@ class StreamingFrontier:
 
         Returns the frames that finished their last search this tick.
         """
+        self.last_tick_kernel_s = 0.0
         completed: list[FrameJob] = []
         for pool in self._tick_order():
             pool.tick(completed)

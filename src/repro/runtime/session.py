@@ -188,6 +188,13 @@ class UplinkRuntime:
         Per-search node budget applied when a frame degrades.  ``None``
         (default) uses the frame's stream count — one greedy descent,
         which always banks the Babai leaf a K=1 K-best pass would keep.
+    tick_strategy:
+        Engine tick strategy (see
+        :class:`~repro.runtime.engine.StreamingFrontier`):
+        ``"compiled"`` runs each admitted search to completion through
+        the Numba per-tick kernel, ``"numpy"`` keeps the lockstep array
+        ticks; results are bit-identical either way.  ``None`` (default)
+        defers to the submitted decoders, then ``REPRO_TICK_STRATEGY``.
     """
 
     def __init__(self, *, capacity: int | None = None,
@@ -198,6 +205,7 @@ class UplinkRuntime:
                  degrade_margin_s: float | None = None,
                  degraded_node_budget: int | None = None,
                  initial_lanes: int | None = None,
+                 tick_strategy: str | None = None,
                  clock=time.perf_counter) -> None:
         require(max_in_flight >= 1, "need an in-flight budget of at least 1")
         require(degrade_margin_s is None or degrade_margin_s >= 0.0,
@@ -207,7 +215,8 @@ class UplinkRuntime:
         self._engine = StreamingFrontier(capacity=capacity,
                                          drain_threshold=drain_threshold,
                                          lane_policy=lane_policy,
-                                         initial_lanes=initial_lanes)
+                                         initial_lanes=initial_lanes,
+                                         tick_strategy=tick_strategy)
         self._decode = DecodeStage(viterbi_strategy)
         self.max_in_flight = max_in_flight
         self.lane_policy = lane_policy
@@ -236,9 +245,13 @@ class UplinkRuntime:
 
     # -- the tick loop --------------------------------------------------
     def _tick(self) -> list[PendingFrame]:
+        started = time.perf_counter()
         finished = self._engine.tick()
+        duration_s = time.perf_counter() - started
         now = self._clock()
-        self.stats.record_tick(self._engine.occupancy(), now)
+        self.stats.record_tick(self._engine.occupancy(), now,
+                               duration_s=duration_s,
+                               kernel_s=self._engine.last_tick_kernel_s)
         resolved = self._complete_all(finished)
         if self.lane_policy == "deadline":
             # Completions first: a frame finishing in the same tick its

@@ -109,6 +109,13 @@ class RuntimeStats:
         self._last_event: float | None = None
         self._tick_ema_s: float | None = None
         self._last_tick: float | None = None
+        # Tick-time observability: how long ticks take, and how much of
+        # that is kernel work (the numpy step / compiled cores) versus
+        # Python orchestration around it.
+        self.tick_duration_s = 0.0
+        self.tick_kernel_s = 0.0
+        self._tick_duration_ema_s: float | None = None
+        self._tick_durations: deque[float] = deque(maxlen=latency_window)
 
     # -- busy-interval bookkeeping --------------------------------------
     def _gap_threshold(self) -> float:
@@ -134,9 +141,25 @@ class RuntimeStats:
         self.frames_submitted += 1
         self._touch(now)
 
-    def record_tick(self, occupancy: float, now: float) -> None:
+    def record_tick(self, occupancy: float, now: float,
+                    duration_s: float | None = None,
+                    kernel_s: float | None = None) -> None:
+        """One engine tick: lane occupancy, plus (when the session
+        measured them) the tick's wall duration and the share of it
+        spent inside kernel work — the numpy step or the compiled
+        cores — as opposed to Python orchestration."""
         self.ticks += 1
         self._occupancy_sum += occupancy
+        if duration_s is not None:
+            self.tick_duration_s += duration_s
+            self._tick_durations.append(duration_s)
+            if self._tick_duration_ema_s is None:
+                self._tick_duration_ema_s = duration_s
+            else:
+                self._tick_duration_ema_s += _TICK_EMA_ALPHA * (
+                    duration_s - self._tick_duration_ema_s)
+        if kernel_s is not None:
+            self.tick_kernel_s += kernel_s
         self._touch(now)
         if self._last_tick is not None:
             gap = now - self._last_tick
@@ -293,6 +316,29 @@ class RuntimeStats:
         """Average fraction of the lane budget busy per tick."""
         return self._occupancy_sum / self.ticks if self.ticks else 0.0
 
+    def tick_orchestration_s(self) -> float:
+        """Measured tick time spent *outside* kernel work (clamped at
+        zero: the two clocks bracket slightly different spans, so tiny
+        negative residues are measurement noise, not credit)."""
+        return max(0.0, self.tick_duration_s - self.tick_kernel_s)
+
+    def kernel_time_fraction(self) -> float:
+        """Share of measured tick time spent inside kernel work; 0.0
+        before any timed tick."""
+        if self.tick_duration_s <= 0.0:
+            return 0.0
+        return min(1.0, self.tick_kernel_s / self.tick_duration_s)
+
+    def tick_duration_percentiles(self, percentiles=(50, 90, 99)
+                                  ) -> dict[int, float]:
+        """Per-tick wall-duration percentiles (seconds) over the most
+        recent window of timed ticks; empty dict before any timed
+        tick."""
+        if not len(self._tick_durations):
+            return {}
+        values = np.percentile(np.asarray(self._tick_durations), percentiles)
+        return {int(p): float(v) for p, v in zip(percentiles, values)}
+
     def summary(self) -> dict:
         """One dict with the headline numbers (benchmark ``extra_info``
         friendly)."""
@@ -307,6 +353,10 @@ class RuntimeStats:
             "elapsed_s": self.elapsed_s,
             "frames_per_second": self.frames_per_second(),
             "mean_lane_occupancy": self.mean_lane_occupancy(),
+            "tick_duration_s": self.tick_duration_s,
+            "tick_kernel_s": self.tick_kernel_s,
+            "tick_orchestration_s": self.tick_orchestration_s(),
+            "kernel_time_fraction": self.kernel_time_fraction(),
             "visited_nodes": self.counters.visited_nodes,
             "ped_calcs": self.counters.ped_calcs,
             "streams_decoded": self.streams_decoded,
@@ -322,6 +372,11 @@ class RuntimeStats:
             "deadline_miss_rate": self.deadline_miss_rate(),
             "degraded_crc_failure_rate": self.degraded_crc_failure_rate(),
         }
+        if self._tick_duration_ema_s is not None:
+            report["tick_duration_ema_s"] = self._tick_duration_ema_s
+        if self._tick_durations:
+            report["tick_duration_percentiles_s"] = (
+                self.tick_duration_percentiles())
         if self._latencies:
             report["latency_percentiles_s"] = self.latency_percentiles()
         if len(self._class_latencies) > 1:
@@ -338,7 +393,8 @@ _ADDITIVE_KEYS = (
     "visited_nodes", "ped_calcs", "streams_decoded", "streams_crc_ok",
     "payload_bits_ok", "degraded_streams_decoded", "degraded_streams_crc_ok",
     "deadline_frames_resolved", "deadline_frames_met",
-    "deadline_near_misses",
+    "deadline_near_misses", "tick_duration_s", "tick_kernel_s",
+    "tick_orchestration_s",
 )
 
 
@@ -386,4 +442,6 @@ def aggregate_summaries(summaries: list[dict]) -> dict:
     report["deadline_miss_rate"] = _ratio(
         report["frames_expired"] + report["deadline_near_misses"],
         report["deadline_frames_resolved"])
+    report["kernel_time_fraction"] = min(1.0, _ratio(
+        report["tick_kernel_s"], report["tick_duration_s"]))
     return report

@@ -71,6 +71,8 @@ from .enumerator import AxisOrder, Candidate
 from .exhaustive import ExhaustiveEnumerator
 from .hess import HessEnumerator
 from .shabany import ShabanyEnumerator
+from .tick_kernel import NO_BUDGET, resolve_tick_strategy, \
+    run_hard_to_completion
 from .zigzag import GeosphereEnumerator
 
 __all__ = ["frontier_decode_batch", "make_kernel", "FRONTIER_MIN_BATCH"]
@@ -669,7 +671,9 @@ def _drain_element(decoder, kernel, element: int, r, y_row, diag, diag_sq,
 
 def frontier_decode_batch(decoder, r: np.ndarray, y_hat_batch: np.ndarray,
                           *, drain_threshold: int | None = None,
-                          trace: dict | None = None) -> BatchDecodeResult:
+                          trace: dict | None = None,
+                          tick_strategy: str | None = None
+                          ) -> BatchDecodeResult:
     """Decode a ``(T, nc)`` batch against one ``R`` in breadth-synchronised
     lockstep.
 
@@ -691,6 +695,13 @@ def frontier_decode_batch(decoder, r: np.ndarray, y_hat_batch: np.ndarray,
         tightenings, ``"drained"`` — elements finished by the scalar
         continuation.  Used by the property tests to check the
         monotone-radius invariant.
+    tick_strategy:
+        ``"compiled"`` runs every search to completion through the
+        compiled per-tick kernel (:mod:`repro.sphere.tick_kernel`),
+        ``"numpy"`` the lockstep array ticks; ``None`` defers to the
+        decoder's ``tick_strategy`` and then the session default.  Both
+        are bit-identical; tracing and non-compiled enumerators resolve
+        to ``"numpy"``.
     """
     num_streams = r.shape[1]
     batch = as_batch_matrix(y_hat_batch, num_streams, "y_hat_batch")
@@ -747,6 +758,23 @@ def frontier_decode_batch(decoder, r: np.ndarray, y_hat_batch: np.ndarray,
     node_budget = decoder.node_budget
     drained: dict[int, object] = {}
     tallies = (ped, visited, expanded, leaves, prunes)
+
+    requested = (tick_strategy if tick_strategy is not None
+                 else getattr(decoder, "tick_strategy", None))
+    if resolve_tick_strategy(requested, decoder.enumerator,
+                             trace) == "compiled":
+        # Run every element's search to completion in one native pass —
+        # same per-element iterations as the tick loop below, so results
+        # and counters are bit-identical and no drain is needed.
+        caps = np.full(num_vectors,
+                       NO_BUDGET if node_budget is None else node_budget,
+                       dtype=np.int64)
+        run_hard_to_completion(
+            kernel, active, active, np.zeros(num_vectors, dtype=np.int64),
+            caps, r[None], batch, diag[None], diag_sq[None], level, radius,
+            parent, path_cols, path_rows, chosen, best_cols, best_rows,
+            best_dist, tallies)
+        active = np.empty(0, dtype=np.int64)
 
     while active.size:
         if node_budget is not None:

@@ -37,6 +37,7 @@ from .hess import HessEnumerator
 from .pruning import GeometricPruner
 from .qr import sorted_triangularize, triangularize
 from .shabany import ShabanyEnumerator
+from .tick_kernel import TICK_STRATEGIES
 from .zigzag import GeosphereEnumerator
 
 __all__ = [
@@ -137,6 +138,15 @@ class SphereDecoder:
         engine (:mod:`repro.sphere.batch_search`); ``"loop"`` runs the
         scalar search row by row.  Both are bit-identical; the loop is
         kept for differential testing and as a debugging fallback.
+    tick_strategy:
+        How the frontier engines advance their ticks: ``"compiled"``
+        runs each search to completion through the Numba kernel of
+        :mod:`repro.sphere.tick_kernel` (bit-identical; falls back to
+        numpy with a one-time warning when Numba is missing, and for
+        the ``hess``/``exhaustive`` enumerators or tracing runs);
+        ``"numpy"`` keeps the lockstep array ticks.  ``None`` (default)
+        defers to the ``REPRO_TICK_STRATEGY`` environment variable and
+        then ``"numpy"``.
     """
 
     def __init__(self, constellation: QamConstellation,
@@ -145,7 +155,8 @@ class SphereDecoder:
                  initial_radius_sq: float = float("inf"),
                  node_budget: int | None = None,
                  column_ordering: str = "none",
-                 batch_strategy: str = "frontier") -> None:
+                 batch_strategy: str = "frontier",
+                 tick_strategy: str | None = None) -> None:
         require(enumerator in ENUMERATORS,
                 f"unknown enumerator {enumerator!r}; choose from {ENUMERATORS}")
         if enumerator in ("hess", "exhaustive"):
@@ -161,7 +172,11 @@ class SphereDecoder:
         require(batch_strategy in ("frontier", "loop"),
                 f"unknown batch strategy {batch_strategy!r}; "
                 "choose 'frontier' or 'loop'")
+        require(tick_strategy is None or tick_strategy in TICK_STRATEGIES,
+                f"unknown tick strategy {tick_strategy!r}; "
+                "choose 'compiled' or 'numpy'")
         self.batch_strategy = batch_strategy
+        self.tick_strategy = tick_strategy
         self.constellation = constellation
         self.enumerator = enumerator
         self.geometric_pruning = geometric_pruning
@@ -289,7 +304,8 @@ class SphereDecoder:
 
     def decode_frame(self, channels, received, *, capacity: int | None = None,
                      drain_threshold: int | None = None,
-                     trace: dict | None = None):
+                     trace: dict | None = None,
+                     tick_strategy: str | None = None):
         """Decode a whole OFDM frame — every (symbol, subcarrier) slot —
         through one breadth-synchronised frontier.
 
@@ -312,6 +328,10 @@ class SphereDecoder:
         ``batch_strategy="loop"`` (and tiny frames below
         ``FRONTIER_MIN_BATCH`` searches) take the per-subcarrier
         reference driver instead — same results, no frame frontier.
+        ``tick_strategy`` overrides the decoder's tick strategy for this
+        frame (``"compiled"`` runs each search to completion through the
+        Numba kernel, ``"numpy"`` the lockstep ticks — bit-identical
+        either way).
 
         Returns a :class:`~repro.frame.results.FrameDecodeResult` with
         ``(T, S)``-leading result tensors.
@@ -331,7 +351,7 @@ class SphereDecoder:
             return frame_decode_per_subcarrier(self, r_stack, y_hat)
         return frame_decode_sphere(self, r_stack, y_hat, capacity=capacity,
                                    drain_threshold=drain_threshold,
-                                   trace=trace)
+                                   trace=trace, tick_strategy=tick_strategy)
 
     def _search(self, r: np.ndarray, y_hat: np.ndarray, diag: np.ndarray,
                 diag_sq: np.ndarray, make_enumerator) -> SphereDecoderResult:

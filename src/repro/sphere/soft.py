@@ -44,6 +44,7 @@ from .counters import ComplexityCounters
 from .decoder import ENUMERATORS, resolve_enumerator_factory
 from .pruning import GeometricPruner
 from .qr import triangularize
+from .tick_kernel import TICK_STRATEGIES
 
 __all__ = ["ListSphereDecoder", "SoftDecodeResult", "SoftBatchResult",
            "soft_outputs_from_lists", "stacked_list_bits"]
@@ -185,12 +186,20 @@ class ListSphereDecoder:
         :meth:`decode_frame` through the breadth-synchronised frame
         engine; ``"loop"`` keeps the scalar search per row as the
         differential baseline.  Both are bit-identical.
+    tick_strategy:
+        ``"compiled"`` runs each frame-engine search to completion
+        through the Numba per-tick kernel
+        (:mod:`repro.sphere.tick_kernel`); ``"numpy"`` keeps the
+        lockstep array ticks.  ``None`` (default) defers to
+        ``REPRO_TICK_STRATEGY``.  Both are bit-identical — LLRs, list
+        membership and counters.
     """
 
     def __init__(self, constellation: QamConstellation, list_size: int = 16,
                  geometric_pruning: bool = True, clamp: float = 24.0,
                  enumerator: str = "zigzag", node_budget: int | None = None,
-                 batch_strategy: str = "frontier") -> None:
+                 batch_strategy: str = "frontier",
+                 tick_strategy: str | None = None) -> None:
         require(list_size >= 2, f"list size must be >= 2, got {list_size}")
         require(clamp > 0.0, "clamp must be positive")
         require(enumerator in ENUMERATORS,
@@ -204,6 +213,9 @@ class ListSphereDecoder:
         require(batch_strategy in ("frontier", "loop"),
                 f"unknown batch strategy {batch_strategy!r}; "
                 "choose 'frontier' or 'loop'")
+        require(tick_strategy is None or tick_strategy in TICK_STRATEGIES,
+                f"unknown tick strategy {tick_strategy!r}; "
+                "choose 'compiled' or 'numpy'")
         self.constellation = constellation
         self.list_size = list_size
         self.clamp = clamp
@@ -211,6 +223,7 @@ class ListSphereDecoder:
         self.geometric_pruning = geometric_pruning
         self.node_budget = node_budget
         self.batch_strategy = batch_strategy
+        self.tick_strategy = tick_strategy
         #: The list search always opens with an infinite sphere — the
         #: radius only becomes finite once the list fills.  The frame
         #: engine reads this exactly like the hard decoder's attribute.
@@ -304,7 +317,8 @@ class ListSphereDecoder:
     def decode_frame(self, channels, received, noise_variance: float, *,
                      capacity: int | None = None,
                      drain_threshold: int | None = None,
-                     trace: dict | None = None):
+                     trace: dict | None = None,
+                     tick_strategy: str | None = None):
         """Soft-decode a whole OFDM frame through one breadth-synchronised
         frontier.
 
@@ -322,7 +336,10 @@ class ListSphereDecoder:
         bit-identical to scalar :meth:`decode_soft_triangular` calls per
         slot — for every knob setting.  Decoders built with
         ``batch_strategy="loop"`` (and tiny frames) take the scalar
-        reference driver instead.
+        reference driver instead.  ``tick_strategy`` overrides the
+        decoder's tick strategy for this frame (``"compiled"`` runs
+        each search to completion through the Numba kernel, ``"numpy"``
+        the lockstep ticks — bit-identical either way).
 
         Returns a :class:`~repro.frame.results.SoftFrameResult` with
         ``(T, S)``-leading result tensors.
@@ -342,7 +359,8 @@ class ListSphereDecoder:
         return frame_decode_soft(self, r_stack, y_hat, noise_variance,
                                  capacity=capacity,
                                  drain_threshold=drain_threshold,
-                                 trace=trace)
+                                 trace=trace,
+                                 tick_strategy=tick_strategy)
 
     # ------------------------------------------------------------------
     def _search_soft(self, r: np.ndarray, y_hat, diag: np.ndarray,

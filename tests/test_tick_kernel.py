@@ -1,0 +1,370 @@
+"""Differential sweeps for the compiled per-tick kernel (ISSUE-9).
+
+The kernel's contract is run-to-completion with *bit-identical* results:
+``tick_strategy="compiled"`` replays the numpy frontier's exact float
+program per element (reciprocal-multiply complex division, FMA-matched
+interference accumulation, ``rint`` slicing, uncontracted distance
+update), so symbol decisions, distances, LLRs and complexity counters
+must equal the ``"numpy"`` tick everywhere the knob is wired: the batch
+frontier, the hard and soft frame engines, the streaming runtime pools,
+``detect_uplink``/``SphereDetector`` and the detector farm.
+
+Numba is optional, so the sweeps run the same kernel functions
+*interpreted* via :data:`repro.sphere.tick_kernel.FORCE_PYTHON` — the
+code CI compiles is the code tested here — and the fallback tests pin
+the no-Numba behaviour: one warning, numpy results, never silence.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.sphere.tick_kernel as tick_kernel
+from repro.constellation import qam
+from repro.detect import SphereDetector
+from repro.phy.receiver import detect_uplink
+from repro.runtime import UplinkRuntime
+from repro.service import DetectorFarm
+from repro.sphere import ListSphereDecoder, SphereDecoder, triangularize
+from repro.sphere.tick_kernel import (
+    COMPILED_ENUMERATORS,
+    NUMBA_AVAILABLE,
+    default_tick_strategy,
+    resolve_tick_strategy,
+)
+
+from test_frame_engine import _frame_instance
+from test_runtime import _assert_identical, _make_frame, _reference
+
+
+@pytest.fixture
+def force_python(monkeypatch):
+    """Resolve ``"compiled"`` to the kernel run interpreted.
+
+    Without Numba the request would fall back to the numpy tick and the
+    differential sweeps would compare numpy with itself; this flag runs
+    the exact kernel functions CI compiles, just through the
+    interpreter.
+    """
+    monkeypatch.setattr(tick_kernel, "FORCE_PYTHON", True)
+
+
+def _block_instance(order, num_tx, num_vectors, seed=0):
+    """Triangular-domain batch: one R, ``num_vectors`` observations."""
+    rng = np.random.default_rng(seed)
+    constellation = qam(order)
+    channel = (rng.standard_normal((num_tx, num_tx))
+               + 1j * rng.standard_normal((num_tx, num_tx))) / np.sqrt(2.0)
+    sent = rng.integers(0, order, size=(num_vectors, num_tx))
+    noise = (rng.standard_normal((num_vectors, num_tx))
+             + 1j * rng.standard_normal((num_vectors, num_tx)))
+    received = (constellation.points[sent] @ channel.T + 0.15 * noise)
+    q, r = triangularize(channel)
+    return r, received @ np.conj(q)
+
+
+def _assert_batches_equal(got, ref):
+    assert np.array_equal(got.found, ref.found)
+    assert np.array_equal(got.symbol_indices, ref.symbol_indices)
+    assert np.array_equal(got.symbols, ref.symbols)
+    assert np.array_equal(got.distances_sq, ref.distances_sq)
+    assert got.counters == ref.counters
+
+
+# ----------------------------------------------------------------------
+# Strategy resolution
+# ----------------------------------------------------------------------
+
+def test_resolve_explicit_numpy_stays_numpy():
+    assert resolve_tick_strategy("numpy", "zigzag") == "numpy"
+
+
+def test_resolve_compiled_for_compiled_enumerators(force_python):
+    for enumerator in COMPILED_ENUMERATORS:
+        assert resolve_tick_strategy("compiled", enumerator) == "compiled"
+
+
+@pytest.mark.parametrize("enumerator", ["hess", "exhaustive"])
+def test_resolve_uncompiled_enumerator_degrades(force_python, enumerator):
+    assert resolve_tick_strategy("compiled", enumerator) == "numpy"
+
+
+def test_resolve_trace_degrades_to_numpy(force_python):
+    assert resolve_tick_strategy("compiled", "zigzag", trace={}) == "numpy"
+
+
+def test_resolve_none_defers_to_env(force_python, monkeypatch):
+    monkeypatch.delenv("REPRO_TICK_STRATEGY", raising=False)
+    assert default_tick_strategy() == "numpy"
+    assert resolve_tick_strategy(None, "zigzag") == "numpy"
+    monkeypatch.setenv("REPRO_TICK_STRATEGY", "compiled")
+    assert default_tick_strategy() == "compiled"
+    assert resolve_tick_strategy(None, "zigzag") == "compiled"
+
+
+def test_resolve_rejects_unknown_strategy():
+    with pytest.raises(ValueError, match="unknown tick strategy"):
+        resolve_tick_strategy("jit", "zigzag")
+    with pytest.raises(ValueError, match="unknown tick strategy"):
+        SphereDecoder(qam(16), tick_strategy="jit")
+    with pytest.raises(ValueError, match="unknown tick strategy"):
+        ListSphereDecoder(qam(16), list_size=4, tick_strategy="jit")
+
+
+def test_resolve_rejects_unknown_env_value(monkeypatch):
+    monkeypatch.setenv("REPRO_TICK_STRATEGY", "turbo")
+    with pytest.raises(ValueError, match="REPRO_TICK_STRATEGY"):
+        default_tick_strategy()
+
+
+@pytest.mark.skipif(NUMBA_AVAILABLE,
+                    reason="fallback path needs Numba absent")
+def test_missing_numba_warns_once_and_falls_back(monkeypatch):
+    """Without Numba (and without FORCE_PYTHON) a compiled request
+    degrades to numpy with exactly one RuntimeWarning per process."""
+    monkeypatch.setattr(tick_kernel, "FORCE_PYTHON", False)
+    monkeypatch.setattr(tick_kernel, "_warned", False)
+    with pytest.warns(RuntimeWarning, match="numba is not installed"):
+        assert resolve_tick_strategy("compiled", "zigzag") == "numpy"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_tick_strategy("compiled", "zigzag") == "numpy"
+
+
+def test_missing_numba_keeps_results_identical(monkeypatch):
+    """The fallback is only a speed change: a decode under the degraded
+    compiled request equals the numpy tick bit for bit."""
+    monkeypatch.setattr(tick_kernel, "FORCE_PYTHON", False)
+    monkeypatch.setattr(tick_kernel, "_warned", True)
+    if NUMBA_AVAILABLE:  # pragma: no cover - CI kernel job only
+        monkeypatch.setattr(tick_kernel, "NUMBA_AVAILABLE", False)
+    constellation, channels, received = _frame_instance(16, 4, 4, 6, 3)
+    decoder = SphereDecoder(constellation)
+    reference = decoder.decode_frame(channels, received,
+                                     tick_strategy="numpy")
+    degraded = decoder.decode_frame(channels, received,
+                                    tick_strategy="compiled")
+    _assert_identical(degraded, reference, soft=False)
+
+
+def test_numpy_fma_probe_matches_fresh_samples():
+    """The import-time probe's verdict holds on fresh data: the kernel's
+    selected complex-multiply program reproduces numpy's exactly."""
+    rng = np.random.default_rng(123)
+    a = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+    b = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+    prod = a * b
+    for k in range(512):
+        ar, ai = a[k].real, a[k].imag
+        br, bi = b[k].real, b[k].imag
+        if tick_kernel.NUMPY_FMA:
+            re = tick_kernel._fma(ar, br, -(ai * bi))
+            im = tick_kernel._fma(ar, bi, ai * br)
+        else:
+            re = ar * br - ai * bi
+            im = ar * bi + ai * br
+        assert prod[k].real == re and prod[k].imag == im
+
+
+# ----------------------------------------------------------------------
+# Batch frontier differentials
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("enumerator", ["zigzag", "shabany"])
+@pytest.mark.parametrize("pruning", [True, False])
+@pytest.mark.parametrize("node_budget", [None, 40])
+def test_batch_compiled_matches_numpy(force_python, enumerator, pruning,
+                                      node_budget):
+    r, y_hat = _block_instance(16, 4, 24, seed=3)
+    kwargs = dict(enumerator=enumerator, geometric_pruning=pruning,
+                  node_budget=node_budget)
+    compiled = SphereDecoder(qam(16), tick_strategy="compiled", **kwargs)
+    baseline = SphereDecoder(qam(16), tick_strategy="numpy", **kwargs)
+    _assert_batches_equal(compiled.decode_batch(r, y_hat),
+                          baseline.decode_batch(r, y_hat))
+
+
+def test_batch_compiled_matches_scalar_loop(force_python):
+    """Three-way agreement: kernel == numpy frontier == scalar loop."""
+    r, y_hat = _block_instance(4, 4, 16, seed=5)
+    compiled = SphereDecoder(qam(4), tick_strategy="compiled")
+    loop = SphereDecoder(qam(4), batch_strategy="loop")
+    _assert_batches_equal(compiled.decode_batch(r, y_hat),
+                          loop.decode_batch(r, y_hat))
+
+
+# ----------------------------------------------------------------------
+# Frame engine differentials (hard and soft)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("enumerator", ["zigzag", "shabany"])
+@pytest.mark.parametrize("pruning", [True, False])
+@pytest.mark.parametrize("node_budget", [None, 60])
+def test_hard_frame_compiled_matches_numpy(force_python, enumerator,
+                                           pruning, node_budget):
+    constellation, channels, received = _frame_instance(16, 4, 4, 6, 4,
+                                                        seed=7)
+    decoder = SphereDecoder(constellation, enumerator=enumerator,
+                            geometric_pruning=pruning,
+                            node_budget=node_budget)
+    reference = decoder.decode_frame(channels, received,
+                                     tick_strategy="numpy")
+    compiled = decoder.decode_frame(channels, received,
+                                    tick_strategy="compiled")
+    _assert_identical(compiled, reference, soft=False)
+
+
+@pytest.mark.parametrize("drain_threshold", [0, None])
+def test_hard_frame_compiled_across_drain_settings(force_python,
+                                                   drain_threshold):
+    """The kernel never reaches the straggler drain (searches finish
+    inside it), so its results cannot depend on the drain knob — and
+    must still equal every numpy drain variant."""
+    constellation, channels, received = _frame_instance(16, 4, 4, 8, 3,
+                                                        seed=11)
+    decoder = SphereDecoder(constellation)
+    reference = decoder.decode_frame(channels, received,
+                                     drain_threshold=drain_threshold,
+                                     tick_strategy="numpy")
+    compiled = decoder.decode_frame(channels, received,
+                                    drain_threshold=drain_threshold,
+                                    tick_strategy="compiled")
+    _assert_identical(compiled, reference, soft=False)
+
+
+@pytest.mark.parametrize("enumerator", ["zigzag", "shabany"])
+@pytest.mark.parametrize("list_size", [4, 8])
+@pytest.mark.parametrize("node_budget", [None, 80])
+def test_soft_frame_compiled_matches_numpy(force_python, enumerator,
+                                           list_size, node_budget):
+    constellation, channels, received = _frame_instance(16, 4, 4, 5, 3,
+                                                        seed=13)
+    decoder = ListSphereDecoder(constellation, list_size=list_size,
+                                enumerator=enumerator,
+                                node_budget=node_budget)
+    reference = decoder.decode_frame(channels, received, 0.05,
+                                     tick_strategy="numpy")
+    compiled = decoder.decode_frame(channels, received, 0.05,
+                                    tick_strategy="compiled")
+    _assert_identical(compiled, reference, soft=True)
+
+
+def test_uncompiled_enumerator_frame_request_degrades(force_python):
+    """A compiled request with ``hess`` silently takes the numpy tick —
+    same results, no warning (the degradation is by design)."""
+    constellation, channels, received = _frame_instance(16, 4, 4, 5, 3,
+                                                        seed=17)
+    decoder = SphereDecoder(constellation, enumerator="hess",
+                            geometric_pruning=False)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        compiled = decoder.decode_frame(channels, received,
+                                        tick_strategy="compiled")
+    reference = decoder.decode_frame(channels, received,
+                                     tick_strategy="numpy")
+    _assert_identical(compiled, reference, soft=False)
+
+
+def test_decoder_attribute_strategy_threads_through(force_python):
+    """``tick_strategy`` set at construction governs ``decode_frame``
+    with no per-call override, and the per-call knob wins over it."""
+    constellation, channels, received = _frame_instance(16, 4, 4, 5, 3,
+                                                        seed=19)
+    compiled = SphereDecoder(constellation, tick_strategy="compiled")
+    baseline = SphereDecoder(constellation)
+    reference = baseline.decode_frame(channels, received)
+    _assert_identical(compiled.decode_frame(channels, received),
+                      reference, soft=False)
+    _assert_identical(compiled.decode_frame(channels, received,
+                                            tick_strategy="numpy"),
+                      reference, soft=False)
+
+
+# ----------------------------------------------------------------------
+# Streaming runtime differentials
+# ----------------------------------------------------------------------
+
+def test_runtime_compiled_matches_decode_frame(force_python):
+    """Mixed hard/soft stream through one compiled-mode runtime: every
+    frame equals standalone ``decode_frame``, counters included, and
+    the tick telemetry attributes the work to the kernel."""
+    rng = np.random.default_rng(23)
+    decoders = [
+        (SphereDecoder(qam(16)), False),
+        (SphereDecoder(qam(4), enumerator="shabany"), False),
+        (ListSphereDecoder(qam(16), list_size=4), True),
+    ]
+    frames = [_make_frame(decoder, 6, 3, 18.0, rng, soft=soft)
+              for decoder, soft in decoders for _ in range(2)]
+    references = [_reference(frame) for frame in frames]
+
+    runtime = UplinkRuntime(tick_strategy="compiled")
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    for handle, frame, reference in zip(handles, frames, references):
+        _assert_identical(handle.result(), reference,
+                          soft=frame.noise_variance is not None)
+    assert runtime.stats.kernel_time_fraction() > 0.5
+
+
+def test_runtime_compiled_honours_node_budget(force_python):
+    """Budgeted searches stop at the same node inside the kernel as at
+    the numpy tick boundary (the loop-top check is the same check)."""
+    rng = np.random.default_rng(29)
+    decoder = SphereDecoder(qam(16), node_budget=50)
+    frames = [_make_frame(decoder, 6, 3, 16.0, rng) for _ in range(3)]
+    references = [_reference(frame) for frame in frames]
+    runtime = UplinkRuntime(tick_strategy="compiled")
+    handles = [runtime.submit(frame) for frame in frames]
+    runtime.drain()
+    for handle, reference in zip(handles, references):
+        _assert_identical(handle.result(), reference, soft=False)
+
+
+def test_runtime_rejects_unknown_strategy():
+    with pytest.raises(ValueError, match="unknown tick strategy"):
+        UplinkRuntime(tick_strategy="jit")
+
+
+# ----------------------------------------------------------------------
+# Receiver, adapter and farm plumbing
+# ----------------------------------------------------------------------
+
+def test_detect_uplink_compiled_matches_numpy(force_python):
+    constellation, channels, received = _frame_instance(16, 4, 4, 6, 3,
+                                                        seed=31)
+    detector = SphereDetector(SphereDecoder(constellation))
+    reference = detect_uplink(channels, received, detector, 0.05,
+                              tick_strategy="numpy")
+    compiled = detect_uplink(channels, received, detector, 0.05,
+                             tick_strategy="compiled")
+    assert np.array_equal(compiled.symbol_indices,
+                          reference.symbol_indices)
+    assert compiled.counters == reference.counters
+
+
+def test_farm_compiled_matches_decode_frame(force_python):
+    rng = np.random.default_rng(37)
+    decoders = [
+        (SphereDecoder(qam(16)), False),
+        (ListSphereDecoder(qam(4), list_size=4), True),
+    ]
+    frames = [_make_frame(decoder, 6, 3, 18.0, rng, soft=soft)
+              for decoder, soft in decoders for _ in range(2)]
+    references = [_reference(frame) for frame in frames]
+    with DetectorFarm(2, backend="inline",
+                      tick_strategy="compiled") as farm:
+        handles = [farm.submit(frame) for frame in frames]
+        farm.drain()
+    for handle, frame, reference in zip(handles, frames, references):
+        _assert_identical(handle.result(), reference,
+                          soft=frame.noise_variance is not None)
+
+
+def test_farm_rejects_conflicting_strategy():
+    with pytest.raises(ValueError, match="tick_strategy given twice"):
+        DetectorFarm(1, backend="inline", tick_strategy="compiled",
+                     runtime_kwargs={"tick_strategy": "numpy"})
+    with pytest.raises(ValueError, match="unknown tick strategy"):
+        DetectorFarm(1, backend="inline", tick_strategy="jit")
