@@ -1,0 +1,86 @@
+"""Observability overhead gate: tracing must stay under 5% (ISSUE-10).
+
+Frame-lifecycle tracing is designed to be cheap enough to leave on in
+production: with the tracer disabled every ``emit`` call site is one
+``is None`` test, and with it enabled each event is a clock read plus a
+tuple append into a bounded ring.  This benchmark times the same
+pipelined frame stream as ``bench_runtime_throughput`` through one
+resident runtime with tracing off and with tracing on, interleaving the
+two timings round by round so thermal drift and noisy neighbours hit
+both sides equally, and gates the enabled/disabled ratio at 1.05x.
+
+The decode results themselves are asserted bit-identical across the
+toggle — tracing reads clocks, it never touches the math.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from bench_runtime_throughput import (
+    NUM_FRAMES,
+    SNR_DB,
+    _frame_stream,
+    _pipelined,
+)
+from repro.constellation import qam
+from repro.obs import chrome_trace, export_jsonl
+from repro.sphere import SphereDecoder
+
+#: The CI gate: tracing-enabled wall time may cost at most this factor
+#: over tracing-disabled on the best interleaved round.
+OVERHEAD_CEILING = 1.05
+ROUNDS = 5
+
+
+def test_tracing_overhead_under_five_percent(benchmark):
+    decoder = SphereDecoder(qam(16))
+    frames = _frame_stream(16, 4, 4, NUM_FRAMES, decoder, SNR_DB, seed=23)
+
+    # Warm both paths once (kernel caches, allocator) outside the clock,
+    # and keep the handles to assert the bit-exactness contract.
+    _, baseline_handles = _pipelined(frames)
+    traced_runtime, traced_handles = _pipelined(frames, trace=True)
+    for plain, traced in zip(baseline_handles, traced_handles):
+        result, expected = traced.result(), plain.result()
+        assert np.array_equal(result.symbol_indices,
+                              expected.symbol_indices)
+        assert np.array_equal(result.distances_sq, expected.distances_sq)
+        assert result.counters == expected.counters
+
+    # Interleaved best-of-N: alternate disabled/enabled within each
+    # round so a slow round penalises both sides, not just one.
+    disabled_s = enabled_s = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        _pipelined(frames)
+        disabled_s = min(disabled_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        _pipelined(frames, trace=True)
+        enabled_s = min(enabled_s, time.perf_counter() - start)
+
+    overhead = enabled_s / disabled_s
+    traces = traced_runtime.tracer.traces()
+    jsonl = export_jsonl(traces)
+    chrome = chrome_trace(traces)
+    benchmark.extra_info["frames"] = NUM_FRAMES
+    benchmark.extra_info["disabled_s"] = disabled_s
+    benchmark.extra_info["enabled_s"] = enabled_s
+    benchmark.extra_info["overhead_fraction"] = overhead - 1.0
+    benchmark.extra_info["frames_traced"] = traced_runtime.tracer.frames_traced
+    benchmark.extra_info["jsonl_bytes"] = len(jsonl)
+    benchmark.extra_info["chrome_events"] = len(chrome["traceEvents"])
+
+    # Run the traced path once under the benchmark clock so the
+    # pytest-benchmark JSON has a distribution too.
+    benchmark.pedantic(_pipelined, args=(frames,), kwargs={"trace": True},
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+    assert len(traces) == NUM_FRAMES
+    assert json.loads(jsonl.splitlines()[0])["type"] == "frame"
+    assert overhead <= OVERHEAD_CEILING, (
+        f"tracing overhead {100 * (overhead - 1):.1f}% exceeds the "
+        f"{100 * (OVERHEAD_CEILING - 1):.0f}% ceiling "
+        f"(disabled {disabled_s * 1e3:.1f} ms, "
+        f"enabled {enabled_s * 1e3:.1f} ms)")

@@ -21,6 +21,11 @@ Three things to watch in the output:
   in-flight frames in admission order; nothing hangs, nothing is lost,
   and the replayed frames' results are still exact (re-running the same
   deterministic float program is the recovery story).
+* **Observability** — the farm runs with lifecycle tracing on, so the
+  killed shard's replayed frames are named from their own traces
+  (route → restart → replay → fresh decode), and the ``metrics`` verb
+  serves the farm's stats as a Prometheus scrape body over the same
+  socket.
 
 Run:  python examples/cell_service.py
 """
@@ -53,7 +58,7 @@ def main() -> None:
     cells = [_cell_workload(3), _cell_workload(7)]
     streams = [cell.frames(FRAMES_PER_CELL) for cell in cells]
 
-    farm = DetectorFarm(2, backend="process")
+    farm = DetectorFarm(2, backend="process", trace=True)
     with CellSiteServer(farm) as server:
         print(f"cell-site service on {server.address[0]}:{server.address[1]}"
               f", farm of {farm.num_shards} worker shards")
@@ -99,6 +104,27 @@ def main() -> None:
         print(f"farm goodput {stats['goodput_bits_per_second'] / 1e3:.1f} "
               f"kbit/s aggregated over "
               f"{len(stats['per_shard'])} shard ledgers")
+
+        # The kill, retold by the frames themselves: every trace that
+        # carries a restart annotation is a frame the supervisor
+        # replayed into the fresh worker.
+        replayed = sorted((trace for trace in farm.tracer.traces()
+                           if "replay" in trace.names()),
+                          key=lambda trace: trace.frame_id)
+        print(f"shard 0 frames replayed after the kill: "
+              f"{[trace.frame_id for trace in replayed]}")
+        for lifecycle in replayed:
+            print(f"  frame {lifecycle.frame_id}: "
+                  + " -> ".join(lifecycle.names()))
+
+        with CellSiteClient(server.address) as probe:
+            scrape = probe.metrics()
+        restarts_line = next(
+            line for line in scrape.splitlines()
+            if line.startswith("repro_shard_restarts_total"))
+        print(f"metrics verb: {len(scrape.splitlines())} Prometheus "
+              f"lines, e.g. '{restarts_line}'")
+
         assert exact
         assert sum(stats["restarts"]) >= 1
 

@@ -1,0 +1,33 @@
+"""Observability: frame-lifecycle tracing and the metrics export plane.
+
+Two complementary answers to "where did the time go":
+
+* :mod:`repro.obs.trace` — per-frame lifecycle traces (bounded,
+  off-by-default, picklable across the farm's worker pipes) exportable
+  as JSONL and Chrome trace-event JSON.
+* :mod:`repro.obs.metrics` — a counter/gauge/summary registry that
+  renders :class:`~repro.runtime.stats.RuntimeStats` summaries as
+  Prometheus text exposition, served by the cell-site ``metrics`` verb.
+"""
+
+from .metrics import (COUNTER_KEYS, GAUGE_KEYS, MetricsRegistry,
+                      prometheus_text, registry_from_summary)
+from .trace import (DEFAULT_MAX_EVENTS_PER_FRAME, DEFAULT_RETAIN_FRAMES,
+                    FrameTrace, FrameTracer, chrome_trace,
+                    chrome_trace_events, export_jsonl, merge_traces)
+
+__all__ = [
+    "COUNTER_KEYS",
+    "DEFAULT_MAX_EVENTS_PER_FRAME",
+    "DEFAULT_RETAIN_FRAMES",
+    "FrameTrace",
+    "FrameTracer",
+    "GAUGE_KEYS",
+    "MetricsRegistry",
+    "chrome_trace",
+    "chrome_trace_events",
+    "export_jsonl",
+    "merge_traces",
+    "prometheus_text",
+    "registry_from_summary",
+]

@@ -1,0 +1,211 @@
+"""Metrics export plane: a tiny registry rendered as Prometheus text.
+
+:class:`RuntimeStats <repro.runtime.stats.RuntimeStats>` already holds
+every number an operator would scrape — this module is the *wire
+format*: a counter/gauge/summary registry whose :meth:`MetricsRegistry.
+render` emits the Prometheus text exposition format (``# HELP`` /
+``# TYPE`` headers, ``name{label="value"} 1.0`` samples), so the
+``metrics`` verb on :class:`~repro.service.server.CellSiteServer` and
+the examples can serve a scrape body with no new dependency.
+
+:func:`registry_from_summary` maps a ``RuntimeStats.summary()`` (or a
+farm aggregate from :func:`~repro.runtime.stats.aggregate_summaries`)
+onto metrics mechanically: the :data:`COUNTER_KEYS` / :data:`GAUGE_KEYS`
+tables are module-level data precisely so tests can iterate them and
+assert every exported sample equals its summary source — the export
+plane must never *re-derive* a number differently from the stats layer.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COUNTER_KEYS",
+    "GAUGE_KEYS",
+    "MetricsRegistry",
+    "prometheus_text",
+    "registry_from_summary",
+]
+
+#: Monotonically-increasing ``summary()`` keys → Prometheus counter
+#: names.  Counters follow the convention of a ``_total`` suffix;
+#: accumulated-seconds keys get ``_seconds_total``.
+COUNTER_KEYS = {
+    "frames_submitted": "repro_frames_submitted_total",
+    "frames_completed": "repro_frames_completed_total",
+    "frames_expired": "repro_frames_expired_total",
+    "frames_cancelled": "repro_frames_cancelled_total",
+    "frames_degraded": "repro_frames_degraded_total",
+    "searches_completed": "repro_searches_completed_total",
+    "ticks": "repro_ticks_total",
+    "visited_nodes": "repro_visited_nodes_total",
+    "ped_calcs": "repro_ped_calcs_total",
+    "streams_decoded": "repro_streams_decoded_total",
+    "streams_crc_ok": "repro_streams_crc_ok_total",
+    "payload_bits_ok": "repro_payload_bits_ok_total",
+    "degraded_streams_decoded": "repro_degraded_streams_decoded_total",
+    "degraded_streams_crc_ok": "repro_degraded_streams_crc_ok_total",
+    "deadline_frames_resolved": "repro_deadline_frames_resolved_total",
+    "deadline_frames_met": "repro_deadline_frames_met_total",
+    "deadline_near_misses": "repro_deadline_near_misses_total",
+    "tick_duration_s": "repro_tick_duration_seconds_total",
+    "tick_kernel_s": "repro_tick_kernel_seconds_total",
+    "stage_queue_wait_s": "repro_stage_queue_wait_seconds_total",
+    "stage_detect_s": "repro_stage_detect_seconds_total",
+    "stage_decode_s": "repro_stage_decode_seconds_total",
+    "stage_resolve_s": "repro_stage_resolve_seconds_total",
+}
+
+#: Point-in-time / derived ``summary()`` keys → Prometheus gauge names.
+GAUGE_KEYS = {
+    "elapsed_s": "repro_busy_seconds",
+    "frames_per_second": "repro_frames_per_second",
+    "goodput_bits_per_second": "repro_goodput_bits_per_second",
+    "mean_lane_occupancy": "repro_mean_lane_occupancy",
+    "tick_orchestration_s": "repro_tick_orchestration_seconds",
+    "kernel_time_fraction": "repro_kernel_time_fraction",
+    "crc_failure_rate": "repro_crc_failure_rate",
+    "degraded_crc_failure_rate": "repro_degraded_crc_failure_rate",
+    "deadline_miss_rate": "repro_deadline_miss_rate",
+    "tick_duration_ema_s": "repro_tick_duration_ema_seconds",
+    "shards": "repro_shards",
+    "shards_reporting": "repro_shards_reporting",
+    "outstanding": "repro_outstanding_frames",
+}
+
+#: Percentile sub-reports → Prometheus summary metrics (quantile
+#: samples).  ``latency_percentiles_by_class_s`` and the per-stage
+#: report additionally carry ``priority`` / ``stage`` labels.
+_QUANTILE_KEYS = {
+    "latency_percentiles_s": "repro_frame_latency_seconds",
+    "tick_duration_percentiles_s": "repro_tick_duration_seconds",
+}
+
+
+def _escape(value) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+class MetricsRegistry:
+    """An insertion-ordered set of metric families with labelled samples.
+
+    Deliberately minimal — enough of the Prometheus data model (counter,
+    gauge, summary-with-quantiles) to render a valid scrape body, and
+    nothing that needs a client library.
+    """
+
+    def __init__(self) -> None:
+        # name -> (type, help, [(labels, value), ...])
+        self._families: dict[str, tuple[str, str, list]] = {}
+
+    def _sample(self, kind: str, name: str, value: float, help_text: str,
+                labels: dict | None) -> None:
+        family = self._families.get(name)
+        if family is None:
+            family = (kind, help_text, [])
+            self._families[name] = family
+        family[2].append((dict(labels) if labels else {}, value))
+
+    def counter(self, name: str, value: float, help_text: str = "",
+                labels: dict | None = None) -> None:
+        self._sample("counter", name, value, help_text, labels)
+
+    def gauge(self, name: str, value: float, help_text: str = "",
+              labels: dict | None = None) -> None:
+        self._sample("gauge", name, value, help_text, labels)
+
+    def quantile(self, name: str, percentile: float, value: float,
+                 help_text: str = "", labels: dict | None = None) -> None:
+        """One quantile sample of a summary metric (percentile given on
+        the 0-100 scale; rendered as the 0-1 ``quantile`` label)."""
+        merged = dict(labels) if labels else {}
+        merged["quantile"] = f"{percentile / 100.0:g}"
+        self._sample("summary", name, value, help_text, merged)
+
+    def render(self) -> str:
+        """The Prometheus text exposition body (version 0.0.4)."""
+        lines = []
+        for name, (kind, help_text, samples) in self._families.items():
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                if labels:
+                    rendered = ",".join(
+                        f'{key}="{_escape(val)}"'
+                        for key, val in labels.items())
+                    lines.append(f"{name}{{{rendered}}} {value}")
+                else:
+                    lines.append(f"{name} {value}")
+        return "\n".join(lines) + "\n"
+
+
+def _quantiles(registry: MetricsRegistry, name: str, report: dict,
+               labels: dict | None, extra: dict | None = None) -> None:
+    merged = dict(labels or {})
+    if extra:
+        merged.update(extra)
+    for percentile, value in report.items():
+        registry.quantile(name, float(percentile), value,
+                          "Windowed percentile report.", merged)
+
+
+def registry_from_summary(summary: dict, *,
+                          labels: dict | None = None) -> MetricsRegistry:
+    """Map one ``RuntimeStats.summary()`` / farm-aggregate dict onto a
+    registry.
+
+    Flat keys follow the :data:`COUNTER_KEYS` / :data:`GAUGE_KEYS`
+    tables; percentile sub-reports become summary quantile samples; the
+    farm's per-shard list keys (``frames_routed``, ``restarts``,
+    ``per_shard``) become shard-labelled samples.  Keys absent from the
+    summary are simply not exported — the same registry code serves a
+    lone runtime and a farm aggregate.
+    """
+    registry = MetricsRegistry()
+    for key, name in COUNTER_KEYS.items():
+        if key in summary:
+            registry.counter(name, summary[key],
+                             f"RuntimeStats '{key}' running total.", labels)
+    for key, name in GAUGE_KEYS.items():
+        if key in summary:
+            registry.gauge(name, summary[key],
+                           f"RuntimeStats '{key}'.", labels)
+    for key, name in _QUANTILE_KEYS.items():
+        if key in summary:
+            _quantiles(registry, name, summary[key], labels)
+    for priority, report in summary.get(
+            "latency_percentiles_by_class_s", {}).items():
+        _quantiles(registry, "repro_frame_latency_seconds", report, labels,
+                   {"priority": priority})
+    for stage, report in summary.get(
+            "stage_latency_percentiles_s", {}).items():
+        _quantiles(registry, "repro_stage_latency_seconds", report, labels,
+                   {"stage": stage})
+    for key, name in (("frames_routed", "repro_shard_frames_routed_total"),
+                      ("restarts", "repro_shard_restarts_total")):
+        values = summary.get(key)
+        if values is not None:
+            for shard, value in enumerate(values):
+                merged = dict(labels or {}, shard=shard)
+                registry.counter(name, value,
+                                 f"Farm '{key}' per shard.", merged)
+    per_shard = summary.get("per_shard")
+    if per_shard is not None:
+        for shard, shard_summary in enumerate(per_shard):
+            merged = dict(labels or {}, shard=shard)
+            registry.gauge("repro_shard_up",
+                           0.0 if shard_summary is None else 1.0,
+                           "1 when the shard answered the stats poll.",
+                           merged)
+            if shard_summary is not None:
+                registry.counter(
+                    "repro_shard_frames_completed_total",
+                    shard_summary.get("frames_completed", 0),
+                    "Per-shard completed-frame total.", merged)
+    return registry
+
+
+def prometheus_text(summary: dict, *, labels: dict | None = None) -> str:
+    """One-call convenience: summary dict in, scrape body out."""
+    return registry_from_summary(summary, labels=labels).render()

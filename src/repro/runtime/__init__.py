@@ -15,7 +15,12 @@ coded chain (deinterleave -> frame-batched Viterbi -> CRC) and resolve
 with decoded payload bits per stream — :mod:`~repro.runtime.cell`
 generates heterogeneous multi-user cell traffic to drive it, and
 :mod:`~repro.runtime.stats` reports sustained frames/sec, CRC-passing
-goodput, latency percentiles and lane occupancy.
+goodput, latency percentiles, per-stage latency decomposition and lane
+occupancy.  Per-frame lifecycle *tracing* (``UplinkRuntime(trace=True)``,
+off by default) stamps every frame's submit → admit → first-lane →
+detect/decode → resolve path onto a bounded
+:class:`~repro.obs.trace.FrameTrace`, exportable via
+:mod:`repro.obs.trace`.
 
 Frames may carry **deadlines and priority classes**
 (:class:`~repro.runtime.queue.FrameRequest.deadline_s` / ``priority``):
@@ -43,7 +48,7 @@ from .session import (
     PendingFrame,
     UplinkRuntime,
 )
-from .stats import RuntimeStats, aggregate_summaries
+from .stats import RuntimeStats, STAGES, aggregate_summaries
 
 __all__ = [
     "AdmissionQueue",
@@ -59,6 +64,7 @@ __all__ = [
     "PendingFrame",
     "QosClass",
     "RuntimeStats",
+    "STAGES",
     "StreamingFrontier",
     "UplinkRuntime",
     "aggregate_summaries",

@@ -55,13 +55,18 @@ class DecodeStage:
         ``"batch"`` (default) sweeps one trellis loop over every grouped
         block; ``"scalar"`` decodes block by block — the differential
         baseline.  Decisions are bit-identical either way.
+    tracer:
+        :class:`~repro.obs.trace.FrameTracer` shared with the owning
+        session, for the ``viterbi`` / ``crc`` lifecycle events on
+        traced frames.  ``None`` (default) emits nothing.
     """
 
-    def __init__(self, strategy: str = "batch") -> None:
+    def __init__(self, strategy: str = "batch", tracer=None) -> None:
         require(strategy in VITERBI_STRATEGIES,
                 f"unknown Viterbi strategy {strategy!r}; choose from "
                 f"{VITERBI_STRATEGIES}")
         self.strategy = strategy
+        self._tracer = tracer
 
     def attach_decisions(self, completed: list) -> None:
         """Decode every configured frame in ``completed`` and attach
@@ -74,6 +79,8 @@ class DecodeStage:
         frame gains one :class:`~repro.phy.receiver.StreamDecision` per
         stream, in stream order.
         """
+        tracing = self._tracer is not None and self._tracer.enabled
+        traced: list = []
         # groups: trellis signature -> (code, reliability rows, output slots)
         groups: dict[tuple, tuple] = {}
         for job, result in completed:
@@ -82,6 +89,8 @@ class DecodeStage:
                 continue
             decisions: list[StreamDecision | None] = [None] * job.num_streams
             result.decisions = decisions
+            if tracing and job.trace is not None:
+                traced.append((job, decisions))
             bits_per_symbol = config.bits_per_symbol
             for client in range(job.num_streams):
                 if job.kind == "hard":
@@ -115,3 +124,12 @@ class DecodeStage:
                                                self.strategy)
             for block, (decisions, client) in zip(framed, slots):
                 decisions[client] = finish_stream(block)
+
+        for job, decisions in traced:
+            if job.config.code is not None:
+                self._tracer.emit(job.trace, "viterbi",
+                                  strategy=self.strategy,
+                                  streams=len(decisions))
+            self._tracer.emit(
+                job.trace, "crc", streams=len(decisions),
+                crc_ok=sum(1 for decision in decisions if decision.crc_ok))

@@ -63,6 +63,7 @@ from ..sphere.tick_kernel import (
     run_hard_to_completion,
     run_soft_to_completion,
 )
+from ..obs.trace import FrameTracer
 from ..utils.validation import require
 from .queue import AdmissionQueue, FrameJob
 
@@ -263,6 +264,15 @@ class _PoolBase:
                     self.lane_budget[lanes], job.degraded_budget)
             points = self.lane_y[lanes, top] / self.lane_diag[lanes, top]
             self.kernel.init(lanes * self.num_streams + top, lanes, points)
+            if job.first_lane_at is None:
+                # Stage-boundary stamp: the frame's first search took a
+                # lane — queue wait ends here.  Stamped with tracing off
+                # too (one clock read per frame); the event itself is
+                # free unless the frame carries a live trace.
+                job.first_lane_at = self.engine.tracer.clock()
+                self.engine.tracer.emit(job.trace, "first-lane",
+                                        t=job.first_lane_at,
+                                        lanes=int(elements.size))
             admitted.append(lanes)
         lanes = np.concatenate(admitted)
         self.engine.in_use += lanes.size
@@ -730,13 +740,18 @@ class StreamingFrontier:
         within its admission tick, so ``degrade``/``evict`` only affect
         still-queued searches (degraded budgets are still honoured at
         admission through the per-lane budget).
+    tracer:
+        :class:`~repro.obs.trace.FrameTracer` shared with the owning
+        session, for engine-side lifecycle events (first-lane, evict,
+        expedite).  ``None`` (default) installs a disabled tracer.
     """
 
     def __init__(self, *, capacity: int | None = None,
                  drain_threshold: int | None = None,
                  lane_policy: str = "deadline",
                  initial_lanes: int | None = None,
-                 tick_strategy: str | None = None) -> None:
+                 tick_strategy: str | None = None,
+                 tracer: FrameTracer | None = None) -> None:
         if capacity is None:
             capacity = DEFAULT_LANE_CAPACITY
         if initial_lanes is None:
@@ -757,6 +772,12 @@ class StreamingFrontier:
         self.lane_policy = lane_policy
         self.initial_lanes = initial_lanes
         self.tick_strategy = tick_strategy
+        #: Lifecycle tracer shared with the owning session.  A frame's
+        #: engine-side events (first-lane, evict, expedite) stamp onto
+        #: ``job.trace`` through it; the default is a disabled tracer so
+        #: a standalone frontier pays only `is None` tests.  Its clock
+        #: also stamps ``first_lane_at`` for the stage decomposition.
+        self.tracer = tracer if tracer is not None else FrameTracer()
         #: Seconds the last tick() spent inside kernel work (the numpy
         #: step or the compiled cores), for the runtime's
         #: kernel-vs-orchestration split.
@@ -816,7 +837,10 @@ class StreamingFrontier:
         pool = job.pool
         if pool is None:
             return 0
-        return pool.queue.remove(job) + pool.evict(job)
+        dropped = pool.queue.remove(job) + pool.evict(job)
+        if dropped and job.trace is not None:
+            self.tracer.emit(job.trace, "evict", searches=dropped)
+        return dropped
 
     def degrade(self, job: FrameJob, budget: int) -> None:
         """Shrink the node budgets of a frame's remaining searches (the
@@ -827,7 +851,8 @@ class StreamingFrontier:
         if pool is None:
             return
         pool.degrade(job, budget)
-        pool.queue.expedite(job)
+        if pool.queue.expedite(job) and job.trace is not None:
+            self.tracer.emit(job.trace, "expedite")
 
     def reprioritise(self, job: FrameJob, priority: int) -> None:
         """Move a frame's still-queued searches to another priority

@@ -173,6 +173,16 @@ class FrameJob:
         self.pool = None
         self.degraded = False
         self.degraded_budget: int | None = None
+        # Observability state owned by the session/engine tracing hooks:
+        # the frame's live trace (None whenever tracing is off — every
+        # stamping call degenerates to an `is None` test) and the
+        # stage-boundary clock stamps feeding the stage-latency
+        # decomposition (stamped even with tracing off; they cost one
+        # clock read per frame per boundary).
+        self.trace = None
+        self.first_lane_at: float | None = None
+        self.detect_done_at: float | None = None
+        self.decode_done_at: float | None = None
 
         q_stack, r_stack = triangularize_frame(channels)
         y_hat = rotate_frame(q_stack, received)          # (S, T, nc)

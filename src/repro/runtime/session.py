@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import time
 
+from ..obs.trace import FrameTracer
 from ..utils.validation import require
 from .decode import DecodeStage
 from .engine import LANE_POLICIES, StreamingFrontier
@@ -121,6 +122,10 @@ class PendingFrame:
         self.resolution: str | None = None
         self.degraded = False
         self.missed_deadline = False
+        #: The frame's lifecycle trace (:class:`~repro.obs.trace.
+        #: FrameTrace`), attached at resolution when the runtime traces;
+        #: ``None`` otherwise.
+        self.trace = None
         self._result = None
 
     @property
@@ -195,6 +200,16 @@ class UplinkRuntime:
         the Numba per-tick kernel, ``"numpy"`` keeps the lockstep array
         ticks; results are bit-identical either way.  ``None`` (default)
         defers to the submitted decoders, then ``REPRO_TICK_STRATEGY``.
+    trace, tracer:
+        Frame-lifecycle tracing (:mod:`repro.obs.trace`).  Off by
+        default: every stamping site then costs one ``is None`` test.
+        ``trace=True`` builds a :class:`~repro.obs.trace.FrameTracer`
+        on the runtime's clock; resolved handles carry their trace
+        (``handle.trace``) and the tracer retains a bounded ring of
+        finished traces for export.  Pass ``tracer`` to share or
+        configure one explicitly (it wins over ``trace``).  Tracing
+        reads clocks and appends event tuples only — results, LLRs and
+        counters stay bit-identical with it on or off.
     """
 
     def __init__(self, *, capacity: int | None = None,
@@ -206,18 +221,24 @@ class UplinkRuntime:
                  degraded_node_budget: int | None = None,
                  initial_lanes: int | None = None,
                  tick_strategy: str | None = None,
-                 clock=time.perf_counter) -> None:
+                 clock=time.perf_counter,
+                 trace: bool = False,
+                 tracer: FrameTracer | None = None) -> None:
         require(max_in_flight >= 1, "need an in-flight budget of at least 1")
         require(degrade_margin_s is None or degrade_margin_s >= 0.0,
                 "degrade margin must be non-negative when given")
         require(degraded_node_budget is None or degraded_node_budget >= 1,
                 "degraded node budget must be positive when given")
+        if tracer is None:
+            tracer = FrameTracer(enabled=trace, clock=clock)
+        self.tracer = tracer
         self._engine = StreamingFrontier(capacity=capacity,
                                          drain_threshold=drain_threshold,
                                          lane_policy=lane_policy,
                                          initial_lanes=initial_lanes,
-                                         tick_strategy=tick_strategy)
-        self._decode = DecodeStage(viterbi_strategy)
+                                         tick_strategy=tick_strategy,
+                                         tracer=tracer)
+        self._decode = DecodeStage(viterbi_strategy, tracer=tracer)
         self.max_in_flight = max_in_flight
         self.lane_policy = lane_policy
         self.degrade_margin_s = degrade_margin_s
@@ -265,9 +286,41 @@ class UplinkRuntime:
         """Finalise detections, then decode every configured frame's
         streams in one frame-batched trellis sweep before resolving the
         handles — frames completing the same tick share the sweep."""
-        completed = [(job, job.finalise()) for job in jobs]
+        completed = []
+        for job in jobs:
+            result = job.finalise()
+            job.detect_done_at = self._clock()
+            self.tracer.emit(job.trace, "detect-done", t=job.detect_done_at)
+            completed.append((job, result))
         self._decode.attach_decisions(completed)
+        decode_done = self._clock()
+        for job, _ in completed:
+            job.decode_done_at = decode_done
+            if job.config is not None and job.num_problems:
+                self.tracer.emit(job.trace, "decode-done", t=decode_done)
         return [self._complete(job, result) for job, result in completed]
+
+    def _stage_components(self, handle: PendingFrame,
+                          job: FrameJob) -> dict[str, float]:
+        """Partition one completed frame's latency into the pipeline
+        stages (:data:`~repro.runtime.stats.STAGES`).  Boundaries a
+        frame never crossed (a degenerate frame has no first-lane; an
+        uncoded one spends nothing in decode) fall back to the next
+        known stamp, so that stage reads zero and the components always
+        sum to the frame's latency up to clock noise."""
+        done = handle.completed_at
+        detect_done = (job.detect_done_at
+                       if job.detect_done_at is not None else done)
+        first_lane = (job.first_lane_at
+                      if job.first_lane_at is not None else detect_done)
+        decode_done = (job.decode_done_at
+                       if job.decode_done_at is not None else detect_done)
+        return {
+            "queue_wait": max(0.0, first_lane - handle.submitted_at),
+            "detect": max(0.0, detect_done - first_lane),
+            "decode": max(0.0, decode_done - detect_done),
+            "resolve": max(0.0, done - decode_done),
+        }
 
     def _complete(self, job: FrameJob, result) -> PendingFrame:
         handle = self._handles.pop(job.frame_id)
@@ -283,10 +336,17 @@ class UplinkRuntime:
             handle.completed_at, handle.latency_s, job.num_problems,
             result.counters, priority=handle.priority,
             had_deadline=handle.deadline_at is not None,
-            missed_deadline=handle.missed_deadline)
+            missed_deadline=handle.missed_deadline,
+            stages=self._stage_components(handle, job))
         if result.decisions is not None:
             self.stats.record_decisions(result.decisions,
                                         degraded=handle.degraded)
+        if job.trace is not None:
+            self.tracer.emit(job.trace, "resolve", t=handle.completed_at,
+                             resolution="completed",
+                             degraded=handle.degraded,
+                             missed_deadline=handle.missed_deadline)
+            self.tracer.finish(job.trace)
         return handle
 
     # -- deadline machinery ---------------------------------------------
@@ -306,12 +366,16 @@ class UplinkRuntime:
                 continue
             job = self._jobs[frame_id]
             if now > handle.deadline_at:
-                self._engine.remove(job)
+                evicted = self._engine.remove(job)
                 del self._handles[frame_id]
                 del self._jobs[frame_id]
                 handle.completed_at = now
                 handle.resolution = "expired"
                 self.stats.record_expired(now)
+                if job.trace is not None:
+                    self.tracer.emit(job.trace, "expire",
+                                     searches_abandoned=evicted)
+                    self.tracer.finish(job.trace)
                 expired.append(handle)
             elif (not job.degraded
                   and now > handle.deadline_at - self._degrade_margin(handle)):
@@ -320,6 +384,9 @@ class UplinkRuntime:
                           else job.num_streams)
                 job.degraded = True
                 job.degraded_budget = budget
+                # Before the engine call: degrade precedes the expedite
+                # event the engine may emit for the same decision.
+                self.tracer.emit(job.trace, "degrade", budget=budget)
                 self._engine.degrade(job, budget)
                 handle.degraded = True
                 self.stats.record_degraded(now)
@@ -353,6 +420,14 @@ class UplinkRuntime:
                               priority=job.priority)
         self._handles[frame_id] = handle
         self._jobs[frame_id] = job
+        trace = self.tracer.start(frame_id, kind=job.kind,
+                                  priority=job.priority)
+        if trace is not None:
+            job.trace = trace
+            handle.trace = trace
+            self.tracer.emit(trace, "submit", t=submitted_at,
+                             deadline_s=job.deadline_s)
+            self.tracer.emit(trace, "admit", searches=job.num_problems)
         if job.num_problems == 0:
             # Degenerate frame (no subcarriers or no symbols): complete
             # immediately with the same empty result ``decode_frame``
@@ -372,10 +447,14 @@ class UplinkRuntime:
             return False
         job = self._jobs.pop(handle.frame_id)
         del self._handles[handle.frame_id]
-        self._engine.remove(job)
+        evicted = self._engine.remove(job)
         handle.completed_at = self._clock()
         handle.resolution = "cancelled"
         self.stats.record_cancelled(handle.completed_at)
+        if job.trace is not None:
+            self.tracer.emit(job.trace, "cancel", t=handle.completed_at,
+                             searches_abandoned=evicted)
+            self.tracer.finish(job.trace)
         return True
 
     def reprioritise(self, handle: PendingFrame, priority: int) -> None:

@@ -35,7 +35,7 @@ import numpy as np
 from ..sphere.counters import ComplexityCounters
 from ..utils.validation import require
 
-__all__ = ["RuntimeStats", "aggregate_summaries"]
+__all__ = ["RuntimeStats", "STAGES", "aggregate_summaries"]
 
 #: Per-frame latency samples retained for the percentile reports.  A
 #: bounded sliding window keeps a permanently-resident runtime's
@@ -53,6 +53,13 @@ MIN_IDLE_GAP_S = 1e-3
 #: Smoothing factor of the exponential moving average over tick periods
 #: that adapts the idle-gap threshold to however fast this machine ticks.
 _TICK_EMA_ALPHA = 0.1
+
+#: Per-frame latency decomposition stages, in pipeline order: time
+#: queued before the frame's first search took a lane, time in sphere
+#: detection, time in the decode stage (Viterbi + CRC), and the resolve
+#: residue (finalisation bookkeeping).  The components partition each
+#: frame's submit-to-completion latency.
+STAGES = ("queue_wait", "detect", "decode", "resolve")
 
 
 class RuntimeStats:
@@ -101,6 +108,13 @@ class RuntimeStats:
         self.counters = ComplexityCounters()
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._class_latencies: dict[int, deque[float]] = {}
+        # Stage-latency decomposition: running totals (additive across
+        # shards) plus bounded percentile windows, overall and per
+        # priority class.
+        self.stage_totals_s = {stage: 0.0 for stage in STAGES}
+        self._stage_windows: dict[str, deque[float]] = {
+            stage: deque(maxlen=latency_window) for stage in STAGES}
+        self._class_stage_windows: dict[int, dict[str, deque[float]]] = {}
         self._occupancy_sum = 0.0
         # Busy-time accumulation: closed intervals summed into _busy_s,
         # plus one open interval [_interval_start, _last_event].
@@ -176,7 +190,8 @@ class RuntimeStats:
     def record_complete(self, now: float, latency_s: float, detections: int,
                         counters: ComplexityCounters, *, priority: int = 0,
                         had_deadline: bool = False,
-                        missed_deadline: bool = False) -> None:
+                        missed_deadline: bool = False,
+                        stages: dict | None = None) -> None:
         self.frames_completed += 1
         self.searches_completed += detections
         self._latencies.append(latency_s)
@@ -185,6 +200,17 @@ class RuntimeStats:
             window = deque(maxlen=self._latency_window)
             self._class_latencies[priority] = window
         window.append(latency_s)
+        if stages is not None:
+            class_windows = self._class_stage_windows.get(priority)
+            if class_windows is None:
+                class_windows = {stage: deque(maxlen=self._latency_window)
+                                 for stage in STAGES}
+                self._class_stage_windows[priority] = class_windows
+            for stage in STAGES:
+                seconds = stages.get(stage, 0.0)
+                self.stage_totals_s[stage] += seconds
+                self._stage_windows[stage].append(seconds)
+                class_windows[stage].append(seconds)
         self._touch(now)
         self.counters.merge(counters)
         if had_deadline:
@@ -312,6 +338,29 @@ class RuntimeStats:
                                                    priority=priority)
                 for priority in sorted(self._class_latencies)}
 
+    def stage_latency_percentiles(self, percentiles=(50, 90, 99), *,
+                                  priority: int | None = None
+                                  ) -> dict[str, dict[int, float]]:
+        """Per-stage latency percentiles (seconds) over the most recent
+        window of stage-decomposed completions, keyed by stage name
+        (see :data:`STAGES`).
+
+        ``priority`` narrows the windows to one priority class.  Stages
+        with an empty window are omitted; a runtime that has completed
+        nothing returns an empty dict.
+        """
+        windows = (self._stage_windows if priority is None
+                   else self._class_stage_windows.get(priority, {}))
+        report = {}
+        for stage in STAGES:
+            window = windows.get(stage, ())
+            if not len(window):
+                continue
+            values = np.percentile(np.asarray(window), percentiles)
+            report[stage] = {int(p): float(v)
+                             for p, v in zip(percentiles, values)}
+        return report
+
     def mean_lane_occupancy(self) -> float:
         """Average fraction of the lane budget busy per tick."""
         return self._occupancy_sum / self.ticks if self.ticks else 0.0
@@ -372,6 +421,11 @@ class RuntimeStats:
             "deadline_miss_rate": self.deadline_miss_rate(),
             "degraded_crc_failure_rate": self.degraded_crc_failure_rate(),
         }
+        for stage in STAGES:
+            report[f"stage_{stage}_s"] = self.stage_totals_s[stage]
+        stage_percentiles = self.stage_latency_percentiles()
+        if stage_percentiles:
+            report["stage_latency_percentiles_s"] = stage_percentiles
         if self._tick_duration_ema_s is not None:
             report["tick_duration_ema_s"] = self._tick_duration_ema_s
         if self._tick_durations:
@@ -386,7 +440,10 @@ class RuntimeStats:
 
 
 #: ``summary()`` keys that sum exactly across concurrently running
-#: runtimes (the sharded farm's per-shard ledgers).
+#: runtimes (the sharded farm's per-shard ledgers).  Deliberately
+#: absent: ``tick_orchestration_s`` is per-shard *clamped* at zero, so
+#: summing it would let clamp residue inflate the farm total — the
+#: aggregate recomputes it from the summed duration and kernel time.
 _ADDITIVE_KEYS = (
     "frames_submitted", "frames_completed", "frames_expired",
     "frames_cancelled", "frames_degraded", "searches_completed", "ticks",
@@ -394,7 +451,8 @@ _ADDITIVE_KEYS = (
     "payload_bits_ok", "degraded_streams_decoded", "degraded_streams_crc_ok",
     "deadline_frames_resolved", "deadline_frames_met",
     "deadline_near_misses", "tick_duration_s", "tick_kernel_s",
-    "tick_orchestration_s",
+    "stage_queue_wait_s", "stage_detect_s", "stage_decode_s",
+    "stage_resolve_s",
 )
 
 
@@ -414,24 +472,36 @@ def aggregate_summaries(summaries: list[dict]) -> dict:
     from the summed numerators and denominators rather than averaged, so
     a busy shard weighs as much as its traffic; ``elapsed_s`` is the
     busiest shard's busy time (wall clock, not CPU-seconds) and lane
-    occupancy is tick-weighted.  Latency percentiles cannot be merged
-    from percentiles, so per-shard reports keep them and the aggregate
-    omits them.
+    occupancy is tick-weighted.  ``tick_orchestration_s`` is recomputed
+    from the summed duration/kernel totals — per-shard values are
+    clamped at zero, so summing them would let clamp residue inflate
+    the farm's orchestration time.
+
+    Latency/tick percentiles and the tick-duration EMA cannot be merged
+    from per-shard reports, so instead of silently dropping them the
+    input summaries ride along verbatim under ``per_shard`` (``None``
+    entries — shards that answered no stats poll — are tolerated and
+    counted out via ``shards_reporting``), keeping shard skew visible
+    from the one aggregate dict.
     """
-    report: dict = {"shards": len(summaries)}
+    present = [summary for summary in summaries if summary is not None]
+    report: dict = {"shards": len(summaries),
+                    "shards_reporting": len(present)}
     for key in _ADDITIVE_KEYS:
-        report[key] = sum(summary.get(key, 0) for summary in summaries)
+        report[key] = sum(summary.get(key, 0) for summary in present)
+    report["tick_orchestration_s"] = max(
+        0.0, report["tick_duration_s"] - report["tick_kernel_s"])
     report["elapsed_s"] = max(
-        (summary.get("elapsed_s", 0.0) for summary in summaries),
+        (summary.get("elapsed_s", 0.0) for summary in present),
         default=0.0)
     report["frames_per_second"] = sum(
-        summary.get("frames_per_second", 0.0) for summary in summaries)
+        summary.get("frames_per_second", 0.0) for summary in present)
     report["goodput_bits_per_second"] = sum(
         summary.get("goodput_bits_per_second", 0.0)
-        for summary in summaries)
+        for summary in present)
     report["mean_lane_occupancy"] = _ratio(
         sum(summary.get("mean_lane_occupancy", 0.0) * summary.get("ticks", 0)
-            for summary in summaries), report["ticks"])
+            for summary in present), report["ticks"])
     report["crc_failure_rate"] = 1.0 - _ratio(
         report["streams_crc_ok"], report["streams_decoded"]) if (
         report["streams_decoded"]) else 0.0
@@ -444,4 +514,5 @@ def aggregate_summaries(summaries: list[dict]) -> dict:
         report["deadline_frames_resolved"])
     report["kernel_time_fraction"] = min(1.0, _ratio(
         report["tick_kernel_s"], report["tick_duration_s"]))
+    report["per_shard"] = list(summaries)
     return report

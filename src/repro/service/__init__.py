@@ -19,14 +19,20 @@ Layering (each module only reaches down):
                ``worker_main`` child loop
 ``supervisor`` process spawning, heartbeat/hang/crash detection,
                ledger replay
-``router``     :class:`DetectorFarm` — submit/poll/cancel/stats over
-               shards
+``router``     :class:`DetectorFarm` — submit/poll/cancel/stats/metrics
+               over shards
 ``server``     :class:`CellSiteServer` — the farm on a socket
 ``client``     :class:`CellSiteClient` — a cell's blocking facade
+
+Observability rides the same rails: ``DetectorFarm(trace=True)`` traces
+every frame's lifecycle across the farm — worker-side runtime events
+cross the pipes with the results, supervisor restarts/replays annotate
+the same frame's trace — and the ``metrics`` verb serves the farm's
+stats as Prometheus text exposition (:mod:`repro.obs`).
 """
 
 from .client import CellSiteClient
-from .protocol import request_signature, shard_for
+from .protocol import VERBS, request_signature, shard_for
 from .router import DetectorFarm, FarmHandle
 from .server import CellSiteServer
 from .supervisor import ShardSupervisor
@@ -39,6 +45,7 @@ __all__ = [
     "FarmHandle",
     "ShardRuntime",
     "ShardSupervisor",
+    "VERBS",
     "request_signature",
     "shard_for",
     "worker_main",

@@ -93,6 +93,11 @@ class CellSiteClient:
         """The farm-level stats view (aggregated shard ledgers)."""
         return self._call("stats")
 
+    def metrics(self) -> str:
+        """The farm's metrics as a Prometheus text scrape body — what a
+        scrape endpoint would serve, fetched over the service socket."""
+        return self._call("metrics")
+
     def close(self) -> None:
         try:
             self._sock.close()

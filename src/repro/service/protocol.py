@@ -28,7 +28,13 @@ import struct
 
 from ..utils.validation import require
 
-__all__ = ["recv_obj", "request_signature", "send_obj", "shard_for"]
+__all__ = ["VERBS", "recv_obj", "request_signature", "send_obj",
+           "shard_for"]
+
+#: The service verbs the cell-site wire protocol speaks — the farm's
+#: surface plus ``metrics`` (Prometheus text exposition of the farm's
+#: stats).  Every request is ``(verb, *args)``.
+VERBS = ("submit", "poll", "cancel", "stats", "metrics")
 
 #: Length-prefix layout: one unsigned 32-bit big-endian byte count.
 _HEADER = struct.Struct("!I")

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import time
 
+from ..obs.metrics import prometheus_text
+from ..obs.trace import FrameTracer, merge_traces
 from ..runtime.session import FrameExpired
 from ..runtime.stats import aggregate_summaries
 from ..sphere.tick_kernel import TICK_STRATEGIES
@@ -68,6 +70,10 @@ class FarmHandle:
         self.degraded = False
         self.missed_deadline = False
         self.latency_s: float | None = None
+        #: The frame's merged lifecycle trace (farm routing/supervision
+        #: events folded with the worker's runtime events) when the farm
+        #: traces; ``None`` otherwise.
+        self.trace = None
         self._result = None
 
     @property
@@ -118,6 +124,17 @@ class DetectorFarm:
     heartbeat_s, hang_timeout_s, max_restarts:
         Supervision knobs (process backend only), see
         :class:`~repro.service.supervisor.ShardSupervisor`.
+    trace:
+        Frame-lifecycle tracing across the farm (off by default).  Each
+        submitted frame gets a farm-side trace (``route`` plus any
+        supervision events — ``restart``/``replay``/``expire``), shard
+        runtimes trace too (``runtime_kwargs`` gains ``trace=True``
+        unless explicitly set), and resolution merges both onto
+        ``handle.trace`` / the farm tracer's bounded ring
+        (``farm.tracer``).  Worker and farm clocks are both
+        ``perf_counter`` — ``CLOCK_MONOTONIC``, shared across fork — so
+        the merged timeline is coherent.  Results stay bit-identical
+        with tracing on or off.
     """
 
     def __init__(self, num_shards: int = 2, *, backend: str = "process",
@@ -126,7 +143,8 @@ class DetectorFarm:
                  max_outstanding: int | None = None,
                  heartbeat_s: float = DEFAULT_HEARTBEAT_S,
                  hang_timeout_s: float = DEFAULT_HANG_TIMEOUT_S,
-                 max_restarts: int = DEFAULT_MAX_RESTARTS) -> None:
+                 max_restarts: int = DEFAULT_MAX_RESTARTS,
+                 trace: bool = False) -> None:
         require(num_shards >= 1, "farm needs at least one shard")
         require(backend in BACKENDS,
                 f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -140,6 +158,10 @@ class DetectorFarm:
                     "runtime_kwargs or the keyword")
             runtime_kwargs = dict(runtime_kwargs or {},
                                   tick_strategy=tick_strategy)
+        self.tracer = FrameTracer(enabled=trace)
+        if trace:
+            runtime_kwargs = dict(runtime_kwargs or {})
+            runtime_kwargs.setdefault("trace", True)
         if max_outstanding is None:
             max_outstanding = DEFAULT_OUTSTANDING_PER_SHARD * num_shards
         require(max_outstanding >= 1,
@@ -161,7 +183,7 @@ class DetectorFarm:
             self._supervisor = ShardSupervisor(
                 num_shards, runtime_kwargs=runtime_kwargs,
                 heartbeat_s=heartbeat_s, hang_timeout_s=hang_timeout_s,
-                max_restarts=max_restarts)
+                max_restarts=max_restarts, tracer=self.tracer)
 
     # -- context manager -------------------------------------------------
     def __enter__(self) -> "DetectorFarm":
@@ -202,8 +224,13 @@ class DetectorFarm:
                             request.deadline_s, request.priority)
         self._handles[frame_id] = handle
         self.frames_routed[shard] += 1
+        trace = self.tracer.start(frame_id, shard=shard,
+                                  priority=request.priority)
+        if trace is not None:
+            handle.trace = trace
+            self.tracer.emit(trace, "route", shard=shard)
         if self._supervisor is not None:
-            self._supervisor.submit(shard, frame_id, request)
+            self._supervisor.submit(shard, frame_id, request, trace=trace)
         else:
             self._shards[shard].submit(frame_id, request)
         return handle
@@ -245,6 +272,14 @@ class DetectorFarm:
             handle.missed_deadline = payload["missed_deadline"]
             handle.latency_s = payload["latency_s"]
             handle._result = payload["result"]
+            # Fold the worker-side runtime trace (crossed the pipe in
+            # the payload) into the farm-side routing/supervision trace;
+            # the merged record lands on the handle and in the farm
+            # tracer's bounded ring.
+            trace = merge_traces(handle.trace, payload.get("trace"))
+            if trace is not None:
+                handle.trace = trace
+                self.tracer.finish(trace)
             resolved.append(handle)
         return resolved
 
@@ -275,21 +310,27 @@ class DetectorFarm:
     # -- stats -----------------------------------------------------------
     def stats(self) -> dict:
         """Farm-level view: aggregated shard ledgers plus routing and
-        supervision counters, with the per-shard summaries attached."""
+        supervision counters.  The aggregate carries every per-shard
+        summary verbatim under ``per_shard`` (``None`` for a shard that
+        failed to answer in time — ``shards_reporting`` counts the rest),
+        so shard skew in the EMA / percentile sub-reports stays visible
+        from this one call."""
         if self._supervisor is not None:
             shards = self._supervisor.stats()
         else:
             shards = [shard.summary() for shard in self._shards]
-        answered = [summary for summary in shards if summary is not None]
-        report = aggregate_summaries(answered)
-        report["shards"] = self.num_shards
+        report = aggregate_summaries(shards)
         report["frames_routed"] = list(self.frames_routed)
         report["outstanding"] = self.outstanding
         report["restarts"] = (list(self._supervisor.restarts)
                               if self._supervisor is not None
                               else [0] * self.num_shards)
-        report["per_shard"] = shards
         return report
+
+    def metrics(self) -> str:
+        """The farm's :meth:`stats` view rendered as a Prometheus text
+        scrape body (:func:`repro.obs.metrics.prometheus_text`)."""
+        return prometheus_text(self.stats())
 
     # -- fault injection / lifecycle -------------------------------------
     def kill_shard(self, shard: int) -> None:

@@ -4,7 +4,7 @@ Many cells, one farm: each cell-site generator connects a
 :class:`~repro.service.client.CellSiteClient` and streams its frames in;
 the server multiplexes every connection onto one shared
 :class:`~repro.service.router.DetectorFarm`.  The wire verbs mirror the
-farm's — ``submit``/``poll``/``cancel``/``stats`` — as synchronous
+farm's — ``submit``/``poll``/``cancel``/``stats``/``metrics`` — as synchronous
 request/response pairs (length-prefixed pickle,
 :mod:`repro.service.protocol`), so a client is a thin blocking facade
 and all concurrency lives server-side: one accept loop, one thread per
@@ -118,6 +118,7 @@ class CellSiteServer:
                     "degraded": handle.degraded,
                     "missed_deadline": handle.missed_deadline,
                     "latency_s": handle.latency_s,
+                    "trace": handle.trace,
                     "result": (handle.result() if handle.resolution
                                == "completed" else None),
                 } for handle in ready]
@@ -129,6 +130,8 @@ class CellSiteServer:
                         and self.farm.cancel(handle))
             if op == "stats":
                 return ("ok", self.farm.stats())
+            if op == "metrics":
+                return ("ok", self.farm.metrics())
             return ("error", f"unknown op {op!r}")
 
     # -- lifecycle -------------------------------------------------------

@@ -36,6 +36,7 @@ import dataclasses
 import multiprocessing
 import time
 
+from ..obs.trace import FrameTracer
 from ..utils.validation import require
 from .worker import DEFAULT_HEARTBEAT_S, worker_main
 
@@ -92,7 +93,8 @@ class ShardSupervisor:
     def __init__(self, num_shards: int, *, runtime_kwargs: dict | None = None,
                  heartbeat_s: float = DEFAULT_HEARTBEAT_S,
                  hang_timeout_s: float = DEFAULT_HANG_TIMEOUT_S,
-                 max_restarts: int = DEFAULT_MAX_RESTARTS) -> None:
+                 max_restarts: int = DEFAULT_MAX_RESTARTS,
+                 tracer: FrameTracer | None = None) -> None:
         require(num_shards >= 1, "farm needs at least one shard")
         require(hang_timeout_s > heartbeat_s,
                 "hang timeout must exceed the heartbeat period")
@@ -102,8 +104,14 @@ class ShardSupervisor:
         self.hang_timeout_s = hang_timeout_s
         self.max_restarts = max_restarts
         self.restarts = [0] * num_shards
+        # Tracer for the recovery annotations (restart / replay /
+        # supervisor-side expire) stamped onto the farm-side traces the
+        # ledger carries.  Traces are None when tracing is off, so the
+        # default disabled tracer costs nothing.
+        self._tracer = tracer if tracer is not None else FrameTracer()
         # Per-shard in-flight ledger: farm frame_id -> (request, enqueued
-        # monotonic time), in admission order (dicts preserve insertion).
+        # monotonic time, farm-side trace or None), in admission order
+        # (dicts preserve insertion).
         self._ledger: list[dict[int, tuple]] = [
             {} for _ in range(num_shards)]
         self._workers = [_Worker(shard, runtime_kwargs, heartbeat_s)
@@ -114,8 +122,9 @@ class ShardSupervisor:
     def outstanding(self, shard: int) -> int:
         return len(self._ledger[shard])
 
-    def submit(self, shard: int, frame_id: int, request) -> None:
-        self._ledger[shard][frame_id] = (request, time.monotonic())
+    def submit(self, shard: int, frame_id: int, request,
+               trace=None) -> None:
+        self._ledger[shard][frame_id] = (request, time.monotonic(), trace)
         self._send(shard, ("submit", frame_id, request))
 
     def cancel(self, shard: int, frame_id: int) -> None:
@@ -187,15 +196,18 @@ class ShardSupervisor:
         now = time.monotonic()
         exhausted = self.restarts[shard] > self.max_restarts
         payloads = []
-        for frame_id, (request, enqueued) in ledger.items():
+        for frame_id, (request, enqueued, trace) in ledger.items():
             elapsed = now - enqueued
+            self._tracer.emit(trace, "restart", shard=shard, reason=reason,
+                              restarts=self.restarts[shard])
             overdue = (request.deadline_s is not None
                        and elapsed >= request.deadline_s)
             if exhausted or overdue:
+                self._tracer.emit(trace, "expire", reason="supervisor")
                 payloads.append({
                     "frame_id": frame_id, "resolution": "expired",
                     "degraded": False, "missed_deadline": True,
-                    "latency_s": None, "result": None,
+                    "latency_s": None, "trace": None, "result": None,
                 })
                 continue
             if request.deadline_s is not None:
@@ -203,7 +215,9 @@ class ShardSupervisor:
                 # budget: shrink the deadline by the time already spent.
                 request = dataclasses.replace(
                     request, deadline_s=request.deadline_s - elapsed)
-            self._ledger[shard][frame_id] = (request, enqueued)
+            self._tracer.emit(trace, "replay",
+                              deadline_s=request.deadline_s)
+            self._ledger[shard][frame_id] = (request, enqueued, trace)
             self._send(shard, ("submit", frame_id, request))
         return payloads
 

@@ -129,6 +129,10 @@ class ShardRuntime:
             "degraded": handle.degraded,
             "missed_deadline": handle.missed_deadline,
             "latency_s": handle.latency_s,
+            # The frame's lifecycle trace when the shard runtime traces
+            # (None otherwise); it crosses the worker pipe with the
+            # result so the farm can merge it with its routing trace.
+            "trace": handle.trace,
             "result": (handle.result()
                        if handle.resolution == "completed" else None),
         }
